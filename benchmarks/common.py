@@ -1,0 +1,196 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Scale control
+-------------
+``BOSON_FULL=1`` runs at paper scale (50 iterations, 20 Monte-Carlo
+samples); the default "fast" scale reproduces every trend in a fraction of
+the time.  All benchmarks read their budgets from :func:`bench_scale`.
+
+Result flow
+-----------
+Each benchmark writes its table both to stdout and to
+``results/<name>.txt``; ``conftest.pytest_terminal_summary`` replays every
+table at the end of the pytest run so they land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import run_baseline
+from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.devices import make_device
+from repro.eval import evaluate_ideal, evaluate_post_fab
+from repro.fab.process import FabricationProcess
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Files written this session (replayed in the terminal summary).
+WRITTEN_REPORTS: list[Path] = []
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Iteration / sample budgets for one benchmark scale."""
+
+    name: str
+    iters_bend: int
+    iters_crossing: int
+    iters_isolator: int
+    mc_samples: int
+    fig5_iters: int
+    fig6a_iters: int
+    relax_sweep: tuple[int, ...]
+
+
+FAST = BenchScale(
+    name="fast",
+    iters_bend=24,
+    iters_crossing=24,
+    iters_isolator=32,
+    mc_samples=8,
+    fig5_iters=24,
+    fig6a_iters=12,
+    relax_sweep=(0, 4, 8, 12, 16),
+)
+
+PAPER = BenchScale(
+    name="paper",
+    iters_bend=50,
+    iters_crossing=50,
+    iters_isolator=50,
+    mc_samples=20,
+    fig5_iters=50,
+    fig6a_iters=50,
+    relax_sweep=(0, 10, 20, 30, 40, 50),
+)
+
+
+def bench_scale() -> BenchScale:
+    """The active scale (``BOSON_FULL=1`` selects paper scale)."""
+    return PAPER if os.environ.get("BOSON_FULL") == "1" else FAST
+
+
+def iterations_for(device_name: str, scale: BenchScale) -> int:
+    return {
+        "bending": scale.iters_bend,
+        "crossing": scale.iters_crossing,
+        "isolator": scale.iters_isolator,
+    }[device_name]
+
+
+# --------------------------------------------------------------------- #
+# Cached device / process / method-run construction                     #
+# --------------------------------------------------------------------- #
+_DEVICE_CACHE: dict[str, tuple] = {}
+_RUN_CACHE: dict[tuple, dict] = {}
+
+
+def device_and_process(device_name: str):
+    """Session-cached device + fabrication process."""
+    if device_name not in _DEVICE_CACHE:
+        device = make_device(device_name)
+        process = FabricationProcess(
+            device.design_shape,
+            device.dl,
+            context=device.litho_context(12),
+            pad=12,
+        )
+        _DEVICE_CACHE[device_name] = (device, process)
+    return _DEVICE_CACHE[device_name]
+
+
+def run_method(
+    device_name: str,
+    method: str,
+    iterations: int,
+    mc_samples: int,
+    seed: int = 0,
+) -> dict:
+    """Run one named method and evaluate it; cached per configuration.
+
+    Returns a record with pre-fab FoM, post-fab Monte-Carlo statistics and
+    the mean per-port powers (the paper's ``[fwd, bwd]`` columns).
+    """
+    key = (device_name, method, iterations, mc_samples, seed)
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    device, process = device_and_process(device_name)
+    result = run_baseline(
+        method, device, process, iterations=iterations, seed=seed
+    )
+    pre_fom, pre_powers = evaluate_ideal(device, result.design_pattern)
+    report = evaluate_post_fab(
+        device, process, result.mask, n_samples=mc_samples, seed=1234
+    )
+    record = {
+        "method": method,
+        "device": device_name,
+        "pre_fom": pre_fom,
+        "pre_powers": pre_powers,
+        "post_fom": report.mean_fom,
+        "post_std": report.std_fom,
+        "post_powers": report.mean_powers,
+        "pattern": result.mask,
+        "metadata": result.metadata,
+    }
+    _RUN_CACHE[key] = record
+    return record
+
+
+def run_config(
+    device_name: str,
+    config: OptimizerConfig,
+    mc_samples: int,
+    label: str,
+) -> dict:
+    """Run a raw OptimizerConfig (ablations / sweeps); cached."""
+    key = (device_name, "cfg", label, repr(config), mc_samples)
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    device, process = device_and_process(device_name)
+    optimizer = Boson1Optimizer(device, config, process=process)
+    result = optimizer.run()
+    report = evaluate_post_fab(
+        device, process, result.pattern, n_samples=mc_samples, seed=1234
+    )
+    record = {
+        "label": label,
+        "device": device_name,
+        "post_fom": report.mean_fom,
+        "post_std": report.std_fom,
+        "post_powers": report.mean_powers,
+        "history": result.history,
+        "pattern": result.pattern,
+    }
+    _RUN_CACHE[key] = record
+    return record
+
+
+def publish_report(name: str, text: str) -> None:
+    """Print a benchmark table and persist it under ``results/``."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    WRITTEN_REPORTS.append(path)
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Table-cell number formatting (scientific for tiny values)."""
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-3 or abs(value) >= 1e4:
+        return f"{value:.2e}"
+    return f"{value:.{digits}f}"
+
+
+def isolator_cols(powers: dict) -> str:
+    """``[fwd, bwd]`` transmissions column used by Tables I and III."""
+    e_fwd = powers["fwd"]["trans3"]
+    e_bwd = powers["bwd"]["bwd"]
+    return f"[{fmt(e_fwd)}, {fmt(e_bwd)}]"

@@ -1,0 +1,21 @@
+"""Benchmark-session plumbing: replay result tables after the run."""
+
+from __future__ import annotations
+
+from benchmarks.common import WRITTEN_REPORTS
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Dump every benchmark table into the terminal summary.
+
+    pytest captures stdout during test execution; replaying the persisted
+    tables here makes them part of ``bench_output.txt``.
+    """
+    if not WRITTEN_REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("BOSON-1 reproduction: benchmark reports")
+    for path in WRITTEN_REPORTS:
+        tr.write_line("")
+        tr.write_line(path.read_text().rstrip())
+        tr.write_line(f"[saved to {path}]")

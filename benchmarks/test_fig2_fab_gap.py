@@ -1,0 +1,100 @@
+"""Fig. 2 — fabrication restricts patterns to a smooth subspace.
+
+Quantitative version of the paper's motivation figure:
+
+(a) lithography wipes features below the diffraction limit: printed
+    contrast of a grating collapses as its period shrinks below
+    ``lambda / ((1 + sigma) NA)``;
+(b) fabrication corners (defocus/dose, etch threshold) move the printed
+    geometry of near-resolution features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.fab import FabricationProcess, VariationCorner
+
+from benchmarks.common import fmt, publish_report
+
+SHAPE = (64, 64)
+DL = 0.05
+
+
+def _grating(period_cells: int) -> np.ndarray:
+    mask = np.zeros(SHAPE)
+    half = period_cells // 2
+    for start in range(0, SHAPE[1], period_cells):
+        mask[:, start : start + half] = 1.0
+    return mask
+
+
+def _run():
+    process = FabricationProcess(SHAPE, DL, pad=12)
+    litho = process.litho_model("nominal")
+
+    grating_rows = []
+    for period_cells in (2, 4, 6, 8, 12, 16):
+        image = process.post_litho_array(_grating(period_cells))
+        centre = image[16:48, 16:48]
+        contrast = centre.max() - centre.min()
+        grating_rows.append(
+            [
+                f"{period_cells * DL * 1000:.0f} nm",
+                fmt(contrast),
+                "printable" if contrast > 0.5 else "wiped",
+            ]
+        )
+
+    line = np.zeros(SHAPE)
+    line[:, 29:34] = 1.0  # 250-nm line
+    corner_rows = []
+    for litho_name in ("min", "nominal", "max"):
+        printed = process.apply_array(
+            line, VariationCorner(litho_name, litho=litho_name)
+        )
+        corner_rows.append([f"litho {litho_name}", int(printed.sum())])
+    for eta_shift in (-0.05, 0.0, 0.05):
+        printed = process.apply_array(
+            line, VariationCorner("eta", eta_shift=eta_shift)
+        )
+        corner_rows.append([f"eta {eta_shift:+.2f}", int(printed.sum())])
+
+    resolution = process.min_printable_period_um()
+    return grating_rows, corner_rows, resolution
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_fabrication_subspace(benchmark):
+    grating_rows, corner_rows, resolution = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            format_table(
+                ["grating period", "printed contrast", "verdict"],
+                grating_rows,
+                title="Fig. 2(a) (reproduction): diffraction wipes fine "
+                f"features (resolution limit {resolution * 1000:.0f} nm)",
+            ),
+            "",
+            format_table(
+                ["corner", "printed pixels of a 250-nm line"],
+                corner_rows,
+                title="Fig. 2(b) (reproduction): corners distort "
+                "near-resolution features",
+            ),
+        ]
+    )
+    publish_report("fig2_fab_gap", text)
+
+    # Contrast is monotone in period, fine gratings wiped, coarse kept.
+    contrasts = [float(r[1]) for r in grating_rows]
+    assert contrasts == sorted(contrasts)
+    assert contrasts[0] < 0.05
+    assert contrasts[-1] > 0.8
+    # Dose corners move the printed line area monotonically.
+    litho_areas = [r[1] for r in corner_rows[:3]]
+    assert litho_areas[0] <= litho_areas[1] <= litho_areas[2]

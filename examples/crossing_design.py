@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Waveguide-crossing design with dense objectives and crosstalk control.
+
+Shows the Eq. (2) auxiliary-objective machinery: the crossing is optimized
+for transmission while reflection and both crosstalk arms are penalized.
+Compares the dense objective against the conventional sparse single
+objective — the loss-landscape-reshaping story of paper Sec. III-D1.
+
+Usage:
+    python examples/crossing_design.py [--iterations N]
+"""
+
+import argparse
+
+from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.devices import make_device
+from repro.eval import evaluate_post_fab
+from repro.utils.render import ascii_pattern
+
+
+def run(device, dense: bool, iterations: int):
+    config = OptimizerConfig(
+        iterations=iterations,
+        sampling="axial",
+        relax_epochs=max(2, iterations // 3),
+        dense_objectives=dense,
+        seed=0,
+    )
+    optimizer = Boson1Optimizer(device, config)
+    result = optimizer.run()
+    return optimizer, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=20)
+    args = parser.parse_args()
+
+    device = make_device("crossing")
+    print("=== Waveguide crossing: dense vs sparse objectives ===\n")
+
+    for dense in (True, False):
+        label = "dense (Eq. 2 penalties)" if dense else "sparse (T only)"
+        optimizer, result = run(device, dense, args.iterations)
+        final = result.history[-1]
+        powers = final.powers["fwd"]
+        print(f"[{label}]")
+        print(
+            f"  T = {powers['out']:.3f}   R = {powers['refl']:.3f}   "
+            f"xtalk N/S = {powers['xtalk_n']:.4f}/{powers['xtalk_s']:.4f}"
+        )
+        if dense:
+            report = evaluate_post_fab(
+                device, optimizer.process, result.pattern,
+                n_samples=8, seed=1234,
+            )
+            print(
+                f"  post-fab T = {report.mean_fom:.3f} "
+                f"+- {report.std_fom:.3f}"
+            )
+            print("\n  final design:")
+            print(
+                "  "
+                + ascii_pattern(result.pattern, max_width=40).replace(
+                    "\n", "\n  "
+                )
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Variation-robust optical isolator — the paper's flagship benchmark.
+
+Runs the full BOSON-1 recipe on the TM1->TM3 mode-converting isolator:
+light-concentrated initialization, dense objectives, conditional subspace
+relaxation, and adaptive (axial + worst-case) variation sampling, then
+reports the isolation contrast before/after fabrication.
+
+Usage:
+    python examples/isolator_robust.py [--iterations N] [--sampling S]
+
+Expected runtime: a few minutes with default settings.
+"""
+
+import argparse
+
+from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.devices import make_device
+from repro.eval import evaluate_ideal, evaluate_post_fab
+from repro.utils.render import ascii_pattern
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument("--sampling", default="axial+worst")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mc-samples", type=int, default=10)
+    args = parser.parse_args()
+
+    device = make_device("isolator")
+    print("=== Optical isolator: TM1 -> TM3 with backward rejection ===\n")
+    print(
+        f"window {device.grid.extent_um} um, input guide "
+        f"{device.in_width_um} um, output guide {device.out_width_um} um"
+    )
+
+    config = OptimizerConfig(
+        iterations=args.iterations,
+        sampling=args.sampling,
+        relax_epochs=max(5, args.iterations // 3),
+        seed=args.seed,
+    )
+    optimizer = Boson1Optimizer(device, config)
+
+    def log(record):
+        if record.iteration % 5 == 0 or record.iteration == args.iterations - 1:
+            fwd = record.powers["fwd"]
+            bwd = record.powers["bwd"]
+            print(
+                f"  iter {record.iteration:3d}  contrast {record.fom:9.4f}  "
+                f"T_fwd(TM3) {fwd['trans3']:.3f}  "
+                f"T_bwd {bwd['bwd']:.4f}  p {record.p:.2f}"
+            )
+
+    print(f"\nOptimizing ({args.iterations} iterations, "
+          f"{args.sampling} sampling)...")
+    result = optimizer.run(callback=log)
+
+    print("\nFinal design pattern:")
+    print(ascii_pattern(result.pattern, max_width=64))
+
+    pre_fom, pre_powers = evaluate_ideal(device, result.pattern)
+    report = evaluate_post_fab(
+        device,
+        optimizer.process,
+        result.pattern,
+        n_samples=args.mc_samples,
+        seed=1234,
+    )
+    e_fwd, e_bwd = device.transmissions(report.mean_powers)
+    print(f"\nIdeal contrast (pre-fab)    : {pre_fom:.4g}")
+    print(
+        f"Post-fab contrast (MC mean) : {report.mean_fom:.4g} "
+        f"(fwd {e_fwd:.3f}, bwd {e_bwd:.4f})"
+    )
+    print("Lower contrast = better isolation.")
+
+
+if __name__ == "__main__":
+    main()

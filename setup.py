@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The benchmark environment has no ``wheel`` package and no network, so
+``pip install -e .`` cannot build a PEP-517 editable wheel.  This shim lets
+``python setup.py develop`` perform the editable install instead; metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""BOSON-1 reproduction: physically-robust photonic inverse design.
+
+This package reproduces the system described in "BOSON-1: Understanding and
+Enabling Physically-Robust Photonic Inverse Design with Adaptive
+Variation-Aware Subspace Optimization" (Ma et al., DATE 2025).
+
+Top-level layout
+----------------
+``repro.autodiff``
+    Minimal reverse-mode automatic differentiation over real numpy arrays.
+``repro.fdfd``
+    2-D finite-difference frequency-domain Maxwell solver with SC-PML,
+    waveguide mode solver, mode sources/monitors and an adjoint engine.
+``repro.fab``
+    Differentiable fabrication models: partially coherent lithography,
+    threshold etching, EOLE random etch-threshold fields, temperature drift.
+``repro.params``
+    Topology parameterizations (level set, density) and initializers.
+``repro.devices``
+    Benchmark devices: waveguide bending, crossing, optical isolator.
+``repro.core``
+    The BOSON-1 optimizer: dense objectives, conditional subspace
+    relaxation, adaptive variation sampling.
+``repro.baselines``
+    Prior-art baselines (Density, LS, InvFabCor two-stage correction...).
+``repro.eval``
+    Monte-Carlo post-fabrication robustness evaluation.
+"""
+
+from repro.utils.constants import (
+    WAVELENGTH_DEFAULT_UM,
+    EPS_SI,
+    EPS_SIO2,
+    EPS_VOID,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WAVELENGTH_DEFAULT_UM",
+    "EPS_SI",
+    "EPS_SIO2",
+    "EPS_VOID",
+    "__version__",
+]

@@ -1,0 +1,408 @@
+"""Differentiable array functions built on the primitive ops.
+
+These mirror the small slice of the numpy API that the BOSON-1 optimization
+chain needs: reductions, nonlinearities used by projections (tanh/sigmoid),
+penalty algebra (relu / maximum), shape manipulation, and the bilinear
+upsampling used by the level-set knot grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, make_op
+from repro.autodiff.ops import as_tensor
+
+__all__ = [
+    "sum",
+    "mean",
+    "reshape",
+    "transpose",
+    "exp",
+    "log",
+    "sqrt",
+    "abs",
+    "tanh",
+    "sigmoid",
+    "softplus",
+    "relu",
+    "maximum",
+    "minimum",
+    "clip",
+    "where",
+    "pad_constant",
+    "stack",
+    "concatenate",
+    "upsample_bilinear",
+    "conv2d_fft",
+    "dot",
+]
+
+_np_sum = np.sum
+_np_abs = np.abs
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Differentiable ``numpy.sum``."""
+    a = as_tensor(a)
+    out = _np_sum(a.data, axis=axis, keepdims=keepdims)
+    shape = a.data.shape
+
+    def backward(g):
+        g = np.asarray(g, dtype=np.float64)
+        if axis is None:
+            return np.broadcast_to(g, shape).copy()
+        if not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            g = np.expand_dims(g, axes)
+        return np.broadcast_to(g, shape).copy()
+
+    return make_op(np.asarray(out, dtype=np.float64), (a,), (backward,), "sum")
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Differentiable ``numpy.mean``."""
+    a = as_tensor(a)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= a.data.shape[ax]
+    return sum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def reshape(a, shape) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.reshape(shape)
+    orig = a.data.shape
+
+    def backward(g):
+        return np.asarray(g).reshape(orig)
+
+    return make_op(out, (a,), (backward,), "reshape")
+
+
+def transpose(a, axes=None) -> Tensor:
+    a = as_tensor(a)
+    out = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(g):
+        return np.transpose(g, inverse)
+
+    return make_op(out, (a,), (backward,), "transpose")
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.exp(a.data)
+
+    def backward(g):
+        return g * out
+
+    return make_op(out, (a,), (backward,), "exp")
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.log(a.data)
+    a_data = a.data
+
+    def backward(g):
+        return g / a_data
+
+    return make_op(out, (a,), (backward,), "log")
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+
+    def backward(g):
+        return g * 0.5 / out
+
+    return make_op(out, (a,), (backward,), "sqrt")
+
+
+def abs(a) -> Tensor:
+    a = as_tensor(a)
+    out = _np_abs(a.data)
+    sign = np.sign(a.data)
+
+    def backward(g):
+        return g * sign
+
+    return make_op(out, (a,), (backward,), "abs")
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+
+    def backward(g):
+        return g * (1.0 - out * out)
+
+    return make_op(out, (a,), (backward,), "tanh")
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    out = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(g):
+        return g * out * (1.0 - out)
+
+    return make_op(out, (a,), (backward,), "sigmoid")
+
+
+def softplus(a, beta: float = 1.0) -> Tensor:
+    """Numerically stable ``log(1 + exp(beta x)) / beta``."""
+    a = as_tensor(a)
+    x = beta * a.data
+    out = (np.logaddexp(0.0, x)) / beta
+    sig = 1.0 / (1.0 + np.exp(-x))
+
+    def backward(g):
+        return g * sig
+
+    return make_op(out, (a,), (backward,), "softplus")
+
+
+def relu(a) -> Tensor:
+    """``max(0, x)`` — the ``[.]_+`` operator of Eq. (2)."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    out = np.where(mask, a.data, 0.0)
+
+    def backward(g):
+        return g * mask
+
+    return make_op(out, (a,), (backward,), "relu")
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; at ties the gradient is split evenly."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.maximum(a.data, b.data)
+    a_wins = a.data > b.data
+    tie = a.data == b.data
+
+    def backward_a(g):
+        return g * (a_wins + 0.5 * tie)
+
+    def backward_b(g):
+        return g * (~a_wins & ~tie) + g * 0.5 * tie
+
+    return make_op(out, (a, b), (backward_a, backward_b), "maximum")
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; at ties the gradient is split evenly."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.minimum(a.data, b.data)
+    a_wins = a.data < b.data
+    tie = a.data == b.data
+
+    def backward_a(g):
+        return g * (a_wins + 0.5 * tie)
+
+    def backward_b(g):
+        return g * (~a_wins & ~tie) + g * 0.5 * tie
+
+    return make_op(out, (a, b), (backward_a, backward_b), "minimum")
+
+
+def clip(a, lo: float, hi: float) -> Tensor:
+    """Clamp to ``[lo, hi]``; gradient is 1 strictly inside, else 0."""
+    a = as_tensor(a)
+    out = np.clip(a.data, lo, hi)
+    mask = (a.data > lo) & (a.data < hi)
+
+    def backward(g):
+        return g * mask
+
+    return make_op(out, (a,), (backward,), "clip")
+
+
+def where(condition, a, b) -> Tensor:
+    """Differentiable select; ``condition`` is a constant boolean array."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.where(cond, a.data, b.data)
+
+    def backward_a(g):
+        return g * cond
+
+    def backward_b(g):
+        return g * (~cond)
+
+    return make_op(out, (a, b), (backward_a, backward_b), "where")
+
+
+def pad_constant(a, pad_width, value: float = 0.0) -> Tensor:
+    """``numpy.pad`` with constant fill; gradient crops the padding."""
+    a = as_tensor(a)
+    out = np.pad(a.data, pad_width, mode="constant", constant_values=value)
+    if isinstance(pad_width, int):
+        pad_width = [(pad_width, pad_width)] * a.data.ndim
+    pad_width = [
+        (p, p) if isinstance(p, int) else tuple(p) for p in pad_width
+    ]
+    if len(pad_width) == 1 and a.data.ndim > 1:
+        pad_width = pad_width * a.data.ndim
+    slices = tuple(
+        slice(before, before + dim)
+        for (before, _), dim in zip(pad_width, a.data.shape)
+    )
+
+    def backward(g):
+        return np.asarray(g)[slices]
+
+    return make_op(out, (a,), (backward,), "pad_constant")
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Differentiable ``numpy.stack``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_backward(i):
+        def backward(g):
+            return np.take(np.asarray(g), i, axis=axis)
+
+        return backward
+
+    return make_op(
+        out, tensors, tuple(make_backward(i) for i in range(len(tensors))), "stack"
+    )
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    """Differentiable ``numpy.concatenate``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_backward(i):
+        def backward(g):
+            g = np.asarray(g)
+            idx = [slice(None)] * g.ndim
+            idx[axis] = slice(offsets[i], offsets[i + 1])
+            return g[tuple(idx)]
+
+        return backward
+
+    return make_op(
+        out,
+        tensors,
+        tuple(make_backward(i) for i in range(len(tensors))),
+        "concatenate",
+    )
+
+
+def _bilinear_weights(n_out: int, n_in: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample positions & weights mapping a length-``n_in`` axis to ``n_out``.
+
+    Uses the align-corners convention so that knot boundaries map exactly to
+    image boundaries, which keeps level-set boundaries stable under
+    resolution changes.
+    """
+    if n_in == 1:
+        lo = np.zeros(n_out, dtype=int)
+        return lo, lo, np.zeros(n_out)
+    positions = np.linspace(0.0, n_in - 1.0, n_out)
+    lo = np.floor(positions).astype(int)
+    lo = np.clip(lo, 0, n_in - 2)
+    frac = positions - lo
+    return lo, lo + 1, frac
+
+
+def upsample_bilinear(a, out_shape: tuple[int, int]) -> Tensor:
+    """Bilinearly upsample a 2-D tensor to ``out_shape`` (align-corners).
+
+    This is the interpolation that expands the coarse level-set knot grid
+    onto the simulation grid.
+    """
+    a = as_tensor(a)
+    if a.data.ndim != 2:
+        raise ValueError(f"upsample_bilinear expects 2-D input, got {a.shape}")
+    n_out_x, n_out_y = out_shape
+    n_in_x, n_in_y = a.data.shape
+    x_lo, x_hi, fx = _bilinear_weights(n_out_x, n_in_x)
+    y_lo, y_hi, fy = _bilinear_weights(n_out_y, n_in_y)
+
+    fx_col = fx[:, None]
+    fy_row = fy[None, :]
+    w00 = (1 - fx_col) * (1 - fy_row)
+    w01 = (1 - fx_col) * fy_row
+    w10 = fx_col * (1 - fy_row)
+    w11 = fx_col * fy_row
+
+    data = a.data
+    out = (
+        w00 * data[np.ix_(x_lo, y_lo)]
+        + w01 * data[np.ix_(x_lo, y_hi)]
+        + w10 * data[np.ix_(x_hi, y_lo)]
+        + w11 * data[np.ix_(x_hi, y_hi)]
+    )
+
+    def backward(g):
+        g = np.asarray(g, dtype=np.float64)
+        grad = np.zeros((n_in_x, n_in_y), dtype=np.float64)
+        # Scatter-add each corner contribution.
+        np.add.at(grad, (x_lo[:, None], y_lo[None, :]), g * w00)
+        np.add.at(grad, (x_lo[:, None], y_hi[None, :]), g * w01)
+        np.add.at(grad, (x_hi[:, None], y_lo[None, :]), g * w10)
+        np.add.at(grad, (x_hi[:, None], y_hi[None, :]), g * w11)
+        return grad
+
+    return make_op(out, (a,), (backward,), "upsample_bilinear")
+
+
+def conv2d_fft(a, kernel: np.ndarray) -> Tensor:
+    """Circular 2-D convolution with a constant real kernel, via FFT.
+
+    The kernel is held fixed (not differentiated); the VJP with respect to
+    the input is correlation with the kernel, also via FFT.  Used for
+    Gaussian-blur MFS control and as a building block of the lithography
+    model's real-kernel fallback.
+    """
+    a = as_tensor(a)
+    if a.data.ndim != 2:
+        raise ValueError(f"conv2d_fft expects 2-D input, got {a.shape}")
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.shape != a.data.shape:
+        raise ValueError(
+            f"kernel shape {kernel.shape} must match input shape {a.data.shape}; "
+            "pad the kernel to the grid first"
+        )
+    k_hat = np.fft.rfft2(kernel)
+    out = np.fft.irfft2(np.fft.rfft2(a.data) * k_hat, s=a.data.shape)
+
+    def backward(g):
+        g = np.asarray(g, dtype=np.float64)
+        return np.fft.irfft2(np.fft.rfft2(g) * np.conj(k_hat), s=g.shape)
+
+    return make_op(out, (a,), (backward,), "conv2d_fft")
+
+
+def dot(a, b) -> Tensor:
+    """Inner product of two equally-shaped tensors (flattened)."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = float(np.vdot(a.data, b.data))
+    a_data, b_data = a.data, b.data
+
+    def backward_a(g):
+        return np.asarray(g) * b_data
+
+    def backward_b(g):
+        return np.asarray(g) * a_data
+
+    return make_op(np.float64(out), (a, b), (backward_a, backward_b), "dot")

@@ -1,0 +1,210 @@
+"""Primitive differentiable operations and the custom-VJP hook.
+
+Each op computes its numpy result eagerly and registers backward closures on
+the tape via :func:`repro.autodiff.tensor.make_op`.  Backward closures map
+the output cotangent ``g`` to each parent's cotangent contribution; numpy
+broadcasting in the forward pass is undone by summation in
+``Tensor.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, make_op
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "power",
+    "getitem",
+    "custom_vjp",
+    "custom_vjp_with_residuals",
+    "as_tensor",
+]
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce numbers / arrays to constant tensors; pass tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data + b.data
+    return make_op(out, (a, b), (lambda g: g, lambda g: g), "add")
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data - b.data
+    return make_op(out, (a, b), (lambda g: g, lambda g: -g), "sub")
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data * b.data
+    a_data, b_data = a.data, b.data
+    return make_op(
+        out,
+        (a, b),
+        (lambda g: g * b_data, lambda g: g * a_data),
+        "mul",
+    )
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data / b.data
+    a_data, b_data = a.data, b.data
+    return make_op(
+        out,
+        (a, b),
+        (
+            lambda g: g / b_data,
+            lambda g: -g * a_data / (b_data * b_data),
+        ),
+        "div",
+    )
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+    return make_op(-a.data, (a,), (lambda g: -g,), "neg")
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise power with a *constant* real exponent."""
+    a = as_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("power() exponent must be a constant, not a Tensor")
+    exponent = float(exponent)
+    out = a.data**exponent
+    a_data = a.data
+
+    def backward(g):
+        return g * exponent * a_data ** (exponent - 1.0)
+
+    return make_op(out, (a,), (backward,), "power")
+
+
+def getitem(a, index) -> Tensor:
+    """Differentiable slicing / fancy indexing."""
+    a = as_tensor(a)
+    out = a.data[index]
+    shape = a.data.shape
+
+    def backward(g):
+        full = np.zeros(shape, dtype=np.float64)
+        np.add.at(full, index, g)
+        return full
+
+    return make_op(np.array(out, copy=True), (a,), (backward,), "getitem")
+
+
+def custom_vjp(
+    forward: Callable[..., np.ndarray],
+    vjp: Callable[..., Sequence[np.ndarray | None]],
+    name: str = "custom",
+) -> Callable[..., Tensor]:
+    """Register a black-box differentiable operation.
+
+    Parameters
+    ----------
+    forward:
+        ``forward(*arrays) -> array``; operates on raw numpy arrays.
+    vjp:
+        ``vjp(g, out, *arrays) -> sequence of cotangents`` (one per input,
+        ``None`` for non-differentiable inputs), where ``g`` is the output
+        cotangent and ``out`` the forward result.
+    name:
+        Tape label for debugging.
+
+    Returns
+    -------
+    callable
+        A function of :class:`Tensor` (or array) inputs returning a
+        :class:`Tensor`.  This is how the FDFD adjoint and the lithography
+        model plug into the autodiff graph.
+    """
+
+    def wrapped(*inputs) -> Tensor:
+        tensors = tuple(as_tensor(x) for x in inputs)
+        arrays = tuple(t.data for t in tensors)
+        out = np.asarray(forward(*arrays), dtype=np.float64)
+
+        def make_backward(position: int):
+            def backward(g):
+                cotangents = vjp(g, out, *arrays)
+                if len(cotangents) != len(arrays):
+                    raise ValueError(
+                        f"custom op {name!r}: vjp returned {len(cotangents)} "
+                        f"cotangents for {len(arrays)} inputs"
+                    )
+                return cotangents[position]
+
+            return backward
+
+        backward_fns = tuple(make_backward(i) for i in range(len(tensors)))
+        return make_op(out, tensors, backward_fns, name)
+
+    wrapped.__name__ = name
+    return wrapped
+
+
+def custom_vjp_with_residuals(
+    forward: Callable[..., tuple],
+    vjp: Callable[..., Sequence[np.ndarray | None]],
+    name: str = "custom",
+) -> Callable[..., Tensor]:
+    """Like :func:`custom_vjp`, but the forward pass keeps residuals.
+
+    For expensive ops (an FDFD solve costs a sparse LU factorization) the
+    backward pass must not re-run the forward.  Here
+
+    * ``forward(*arrays) -> (out, residuals)`` — ``residuals`` is any
+      object (e.g. the factorized solver + fields) closed over for the
+      backward pass;
+    * ``vjp(g, out, residuals, *arrays) -> cotangents`` — one per input.
+
+    Cotangents are computed once per backward call and memoized, so
+    multi-input ops do not repeat the adjoint work per input.
+    """
+
+    def wrapped(*inputs) -> Tensor:
+        tensors = tuple(as_tensor(x) for x in inputs)
+        arrays = tuple(t.data for t in tensors)
+        out, residuals = forward(*arrays)
+        out = np.asarray(out, dtype=np.float64)
+
+        cache: dict[int, Sequence[np.ndarray | None]] = {}
+
+        def make_backward(position: int):
+            def backward(g):
+                key = id(g)
+                if key not in cache:
+                    cotangents = vjp(g, out, residuals, *arrays)
+                    if len(cotangents) != len(arrays):
+                        raise ValueError(
+                            f"custom op {name!r}: vjp returned "
+                            f"{len(cotangents)} cotangents for "
+                            f"{len(arrays)} inputs"
+                        )
+                    cache.clear()
+                    cache[key] = cotangents
+                return cache[key][position]
+
+            return backward
+
+        backward_fns = tuple(make_backward(i) for i in range(len(tensors)))
+        return make_op(out, tensors, backward_fns, name)
+
+    wrapped.__name__ = name
+    return wrapped

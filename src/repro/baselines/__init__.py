@@ -1,0 +1,31 @@
+"""Prior-art baselines the paper compares against (Tables I and III).
+
+Notation (paper Sec. IV-B):
+
+* ``Density`` / ``LS`` — density or level-set parameterization, optimized
+  in free space (no fabrication model);
+* ``-M`` — Gaussian-blur minimum-feature-size control added;
+* ``InvFabCor-#`` — two-stage: free optimization then inverse fabrication
+  (mask) correction matching ``#`` lithography corners;
+* ``-eff`` — stage-1 objective is transmission efficiency rather than the
+  isolator's contrast;
+* ``BOSON-1`` — the full proposed method (implemented by
+  :class:`repro.core.engine.Boson1Optimizer` directly).
+"""
+
+from repro.baselines.free_opt import run_free_optimization
+from repro.baselines.invfabcor import MaskCorrectionResult, correct_mask
+from repro.baselines.registry import (
+    BASELINE_REGISTRY,
+    BaselineResult,
+    run_baseline,
+)
+
+__all__ = [
+    "run_free_optimization",
+    "correct_mask",
+    "MaskCorrectionResult",
+    "BASELINE_REGISTRY",
+    "BaselineResult",
+    "run_baseline",
+]

@@ -1,0 +1,58 @@
+"""Stage-1 free-space optimization used by the non-BOSON baselines.
+
+"Free" means the electromagnetic objective is evaluated on the *ideal*
+pattern — no lithography or etching inside the loop.  This is exactly the
+engine with ``use_fab=False``; MFS blur control gives the ``-M`` variants.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OptimizerConfig
+from repro.core.engine import Boson1Optimizer, OptimizationResult
+from repro.devices.base import PhotonicDevice
+
+__all__ = ["run_free_optimization"]
+
+
+def run_free_optimization(
+    device: PhotonicDevice,
+    parameterization: str = "levelset",
+    mfs_blur_um: float | None = None,
+    iterations: int = 50,
+    init: str = "path",
+    seed: int = 0,
+    dense_objectives: bool = True,
+    objective_terms: dict | None = None,
+    lr: float | None = None,
+    density_beta: float | None = None,
+) -> OptimizationResult:
+    """Optimize a device without fabrication modeling.
+
+    Parameters mirror the paper's baseline notation: ``parameterization``
+    picks ``Density``/``LS``; ``mfs_blur_um`` adds the ``-M`` control.
+
+    The unconstrained density baseline runs with an aggressive step size
+    and a sharp projection by default — that is the regime in which free
+    optimization exploits fine, unmanufacturable features (the failure
+    mode Table I demonstrates).
+    """
+    if parameterization == "density":
+        lr = 0.8 if lr is None else lr
+        density_beta = 16.0 if density_beta is None else density_beta
+    config = OptimizerConfig(
+        parameterization=parameterization,
+        mfs_blur_um=mfs_blur_um,
+        init=init,
+        iterations=iterations,
+        use_fab=False,
+        dense_objectives=dense_objectives,
+        relax_epochs=0,
+        sampling="nominal",
+        seed=seed,
+        lr=lr,
+        density_beta=density_beta if density_beta is not None else 8.0,
+    )
+    optimizer = Boson1Optimizer(
+        device, config, objective_terms=objective_terms
+    )
+    return optimizer.run()

@@ -1,0 +1,156 @@
+"""Named baseline pipelines matching the paper's method notation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.free_opt import run_free_optimization
+from repro.baselines.invfabcor import correct_mask
+from repro.core.config import OptimizerConfig
+from repro.core.engine import Boson1Optimizer
+from repro.devices.base import PhotonicDevice
+from repro.fab.process import FabricationProcess
+
+__all__ = ["BaselineResult", "BASELINE_REGISTRY", "run_baseline"]
+
+#: Default blur radius of the ``-M`` MFS-control variants (um).
+MFS_BLUR_UM = 0.08
+
+
+@dataclass
+class BaselineResult:
+    """Design produced by one named method.
+
+    Attributes
+    ----------
+    method:
+        Method name (paper notation).
+    design_pattern:
+        The stage-1 / ideal optimized pattern (pre-correction).
+    mask:
+        What would be sent to the fab: the corrected mask for InvFabCor
+        methods, otherwise the design pattern itself.
+    metadata:
+        Free-form extras (match error, traces...).
+    """
+
+    method: str
+    design_pattern: np.ndarray
+    mask: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+
+def _efficiency_terms(device: PhotonicDevice) -> dict | None:
+    """The ``-eff`` objective override: maximize forward transmission."""
+    terms = device.objective_terms()
+    if terms["main"]["kind"] != "contrast":
+        return None
+    den_dir, den_port = terms["main"]["den"]
+    return {
+        "main": {"direction": den_dir, "kind": "maximize", "port": den_port},
+        "penalties": [
+            p for p in terms.get("penalties", ()) if p["direction"] == den_dir
+        ],
+    }
+
+
+def _free(parameterization, blur, eff=False):
+    def runner(device, process, iterations, seed):
+        terms = _efficiency_terms(device) if eff else None
+        result = run_free_optimization(
+            device,
+            parameterization=parameterization,
+            mfs_blur_um=blur,
+            iterations=iterations,
+            seed=seed,
+            objective_terms=terms,
+        )
+        return BaselineResult(
+            method="",
+            design_pattern=result.pattern,
+            mask=result.pattern,
+            metadata={"history": result.history},
+        )
+
+    return runner
+
+
+def _invfabcor(blur, n_corners, eff=False):
+    def runner(device, process, iterations, seed):
+        terms = _efficiency_terms(device) if eff else None
+        stage1 = run_free_optimization(
+            device,
+            parameterization="levelset",
+            mfs_blur_um=blur,
+            iterations=iterations,
+            seed=seed,
+            objective_terms=terms,
+        )
+        correction = correct_mask(
+            process, stage1.pattern, n_corners=n_corners
+        )
+        return BaselineResult(
+            method="",
+            design_pattern=stage1.pattern,
+            mask=correction.mask,
+            metadata={
+                "match_error": correction.match_error,
+                "history": stage1.history,
+            },
+        )
+
+    return runner
+
+
+def _boson1(**config_overrides):
+    def runner(device, process, iterations, seed):
+        config = OptimizerConfig(
+            iterations=iterations, seed=seed, **config_overrides
+        )
+        optimizer = Boson1Optimizer(device, config, process=process)
+        result = optimizer.run()
+        return BaselineResult(
+            method="",
+            design_pattern=result.pattern,
+            mask=result.pattern,
+            metadata={"history": result.history},
+        )
+
+    return runner
+
+
+#: method name -> runner(device, process, iterations, seed) -> BaselineResult
+BASELINE_REGISTRY: dict[str, Callable] = {
+    "Density": _free("density", None),
+    "Density-M": _free("density", MFS_BLUR_UM),
+    "LS": _free("levelset", None),
+    "LS-M": _free("levelset", MFS_BLUR_UM),
+    "InvFabCor-1": _invfabcor(None, 1),
+    "InvFabCor-3": _invfabcor(None, 3),
+    "InvFabCor-M-1": _invfabcor(MFS_BLUR_UM, 1),
+    "InvFabCor-M-3": _invfabcor(MFS_BLUR_UM, 3),
+    "InvFabCor-M-3-eff": _invfabcor(MFS_BLUR_UM, 3, eff=True),
+    "BOSON-1": _boson1(),
+}
+
+
+def run_baseline(
+    method: str,
+    device: PhotonicDevice,
+    process: FabricationProcess,
+    iterations: int = 50,
+    seed: int = 0,
+) -> BaselineResult:
+    """Run one named method end-to-end and return its taped-out mask."""
+    try:
+        runner = BASELINE_REGISTRY[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; have {sorted(BASELINE_REGISTRY)}"
+        ) from None
+    result = runner(device, process, iterations, seed)
+    result.method = method
+    return result

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``design``    — run the BOSON-1 optimizer on a benchmark device.
+``evaluate``  — Monte-Carlo post-fab evaluation of a saved design.
+``baseline``  — run one named prior-art method end-to-end.
+``info``      — print device/benchmark inventory.
+
+Every command accepts ``--help``.  Results are saved as JSON (patterns
+included) so they can be re-evaluated or rendered later.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.baselines import BASELINE_REGISTRY, run_baseline
+from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.core.sampling import SAMPLING_STRATEGIES
+from repro.devices import DEVICE_REGISTRY, make_device
+from repro.eval import evaluate_ideal, evaluate_post_fab
+from repro.fab.process import FabricationProcess
+from repro.utils.io import load_result, save_result
+from repro.utils.render import ascii_pattern
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOSON-1 reproduction: robust photonic inverse design",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_design = sub.add_parser("design", help="run the BOSON-1 optimizer")
+    p_design.add_argument("device", choices=sorted(DEVICE_REGISTRY))
+    p_design.add_argument("--iterations", type=int, default=30)
+    p_design.add_argument(
+        "--sampling",
+        choices=sorted(SAMPLING_STRATEGIES),
+        default="axial+worst",
+    )
+    p_design.add_argument("--relax-epochs", type=int, default=None)
+    p_design.add_argument("--seed", type=int, default=0)
+    p_design.add_argument("--output", default=None, help="result JSON path")
+    p_design.add_argument("--quiet", action="store_true")
+
+    p_eval = sub.add_parser("evaluate", help="post-fab Monte-Carlo eval")
+    p_eval.add_argument("result", help="JSON produced by `design`/`baseline`")
+    p_eval.add_argument("--samples", type=int, default=20)
+    p_eval.add_argument("--seed", type=int, default=1234)
+
+    p_base = sub.add_parser("baseline", help="run a named prior-art method")
+    p_base.add_argument("device", choices=sorted(DEVICE_REGISTRY))
+    p_base.add_argument("method", choices=sorted(BASELINE_REGISTRY))
+    p_base.add_argument("--iterations", type=int, default=30)
+    p_base.add_argument("--seed", type=int, default=0)
+    p_base.add_argument("--output", default=None)
+
+    sub.add_parser("info", help="list devices, methods and strategies")
+    return parser
+
+
+def _cmd_design(args) -> int:
+    device = make_device(args.device)
+    relax = (
+        args.relax_epochs
+        if args.relax_epochs is not None
+        else max(4, args.iterations // 3)
+    )
+    config = OptimizerConfig(
+        iterations=args.iterations,
+        sampling=args.sampling,
+        relax_epochs=relax,
+        seed=args.seed,
+    )
+    optimizer = Boson1Optimizer(device, config)
+
+    def log(record):
+        print(
+            f"iter {record.iteration:3d}  loss {record.loss:+.4f}  "
+            f"fom {record.fom:.4f}  p {record.p:.2f}"
+        )
+
+    result = optimizer.run(callback=None if args.quiet else log)
+    print("\nfinal design:")
+    print(ascii_pattern(result.pattern, max_width=48))
+    payload = {
+        "device": args.device,
+        "method": "BOSON-1",
+        "pattern": result.pattern,
+        "fom_trace": result.fom_trace(),
+        "final_loss": result.final_loss,
+        "seed": args.seed,
+        "iterations": args.iterations,
+    }
+    output = args.output or f"boson1_{args.device}_seed{args.seed}.json"
+    path = save_result(payload, output)
+    print(f"\nsaved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    payload = load_result(args.result)
+    device = make_device(payload["device"])
+    process = FabricationProcess(
+        device.design_shape,
+        device.dl,
+        context=device.litho_context(12),
+        pad=12,
+    )
+    pattern = np.asarray(payload["pattern"], dtype=np.float64)
+    pre, _ = evaluate_ideal(device, pattern)
+    report = evaluate_post_fab(
+        device, process, pattern, n_samples=args.samples, seed=args.seed
+    )
+    better = "lower" if device.fom_lower_is_better else "higher"
+    print(f"device          : {payload['device']} ({better} FoM is better)")
+    print(f"method          : {payload.get('method', '?')}")
+    print(f"pre-fab FoM     : {pre:.4g}")
+    print(
+        f"post-fab FoM    : {report.mean_fom:.4g} +- {report.std_fom:.4g} "
+        f"({report.n_samples} samples)"
+    )
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    device = make_device(args.device)
+    process = FabricationProcess(
+        device.design_shape,
+        device.dl,
+        context=device.litho_context(12),
+        pad=12,
+    )
+    result = run_baseline(
+        args.method, device, process, iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(ascii_pattern(result.mask, max_width=48))
+    payload = {
+        "device": args.device,
+        "method": args.method,
+        "pattern": result.mask,
+        "design_pattern": result.design_pattern,
+        "seed": args.seed,
+        "iterations": args.iterations,
+    }
+    output = (
+        args.output
+        or f"{args.method.lower()}_{args.device}_seed{args.seed}.json"
+    )
+    path = save_result(payload, output)
+    print(f"saved to {path}")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    print("devices   :", ", ".join(sorted(DEVICE_REGISTRY)))
+    print("methods   :", ", ".join(sorted(BASELINE_REGISTRY)))
+    print("sampling  :", ", ".join(sorted(SAMPLING_STRATEGIES)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "design": _cmd_design,
+        "evaluate": _cmd_evaluate,
+        "baseline": _cmd_baseline,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The BOSON-1 optimization core (paper Sec. III).
+
+* :mod:`repro.core.objective` — dense-objective construction, Eq. (2);
+* :mod:`repro.core.relaxation` — conditional subspace relaxation, Eq. (3);
+* :mod:`repro.core.sampling` — nominal / axial / exhaustive / random /
+  axial+worst variation sampling strategies (Sec. III-E, Fig. 6a);
+* :mod:`repro.core.optimizer` — Adam on raw numpy parameters;
+* :mod:`repro.core.engine` — :class:`Boson1Optimizer`, the end-to-end
+  inverse-design loop; every paper technique is a config flag so the
+  Table II ablations are configuration-only.
+"""
+
+from repro.core.config import OptimizerConfig
+from repro.core.engine import Boson1Optimizer, OptimizationResult
+from repro.core.objective import build_loss, radiation_power
+from repro.core.optimizer import Adam
+from repro.core.relaxation import RelaxationSchedule
+from repro.core.sampling import (
+    SamplingStrategy,
+    make_sampling_strategy,
+    SAMPLING_STRATEGIES,
+)
+
+__all__ = [
+    "OptimizerConfig",
+    "Boson1Optimizer",
+    "OptimizationResult",
+    "build_loss",
+    "radiation_power",
+    "Adam",
+    "RelaxationSchedule",
+    "SamplingStrategy",
+    "make_sampling_strategy",
+    "SAMPLING_STRATEGIES",
+]

@@ -1,0 +1,137 @@
+"""Configuration of the BOSON-1 optimizer.
+
+Every technique the paper ablates (Table II) or sweeps (Fig. 6) is a field
+here, so baselines and ablations are *configurations*, not forks of the
+engine:
+
+* ``use_fab=False``        -> free-space optimization (Density / LS rows);
+* ``dense_objectives=False`` -> sparse single objective
+  ("- loss landscape reshaping");
+* ``relax_epochs=0``       -> no conditional subspace relaxation
+  ("- subspace relax");
+* ``sampling="exhaustive"``  -> corner sweeping ("exhaustive sample");
+* ``init="random"``        -> random initialization ("random init").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["OptimizerConfig"]
+
+
+@dataclass
+class OptimizerConfig:
+    """Hyper-parameters and technique switches for :class:`Boson1Optimizer`.
+
+    Parameters
+    ----------
+    parameterization:
+        ``"levelset"`` (paper default) or ``"density"``.
+    mfs_blur_um:
+        Gaussian minimum-feature-size control radius applied to the
+        pattern (the ``-M`` suffix of the paper's tables); ``None``
+        disables it.
+    init:
+        ``"path"`` — light-concentrated initialization (Sec. III-D3);
+        ``"random"`` — the Table II failure mode.
+    iterations:
+        Optimization steps.
+    lr:
+        Adam step size; ``None`` picks a parameterization-specific
+        default (level-set values are in um, density latents are logits).
+    use_fab:
+        Optimize *through* the fabrication model (subspace optimization).
+    dense_objectives:
+        Eq. (2) auxiliary penalties on extra monitors.
+    relax_epochs / p_start:
+        Eq. (3) conditional subspace relaxation ramp.
+    sampling:
+        Variation sampling strategy name (see
+        :data:`repro.core.sampling.SAMPLING_STRATEGIES`).
+    n_random_corners:
+        Extra Monte-Carlo corners for the ``random``-flavoured strategies.
+    t_delta / eta_delta:
+        Corner magnitudes: temperature excursion (K) and global etch
+        threshold shift.
+    worst_xi_step:
+        Step size of the worst-corner ascent in EOLE-coefficient space.
+    seed:
+        Root seed for every stochastic component.
+    """
+
+    parameterization: str = "levelset"
+    mfs_blur_um: float | None = None
+    init: str = "path"
+    iterations: int = 50
+    lr: float | None = None
+    use_fab: bool = True
+    dense_objectives: bool = True
+    relax_epochs: int = 20
+    p_start: float = 0.2
+    sampling: str = "axial+worst"
+    n_random_corners: int = 2
+    t_delta: float = 30.0
+    eta_delta: float = 0.03
+    nominal_weight: float = 4.0
+    worst_xi_step: float = 1.0
+    seed: int = 0
+    knot_shape: tuple[int, int] | None = None
+    levelset_beta: float = 2.0
+    density_beta: float = 8.0
+
+    def __post_init__(self):
+        if self.parameterization not in ("levelset", "density"):
+            raise ValueError(
+                "parameterization must be 'levelset' or 'density', "
+                f"got {self.parameterization!r}"
+            )
+        if self.init not in ("path", "random"):
+            raise ValueError(f"init must be 'path' or 'random', got {self.init!r}")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.lr is not None and self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.relax_epochs < 0:
+            raise ValueError("relax_epochs must be >= 0")
+        if not 0.0 <= self.p_start <= 1.0:
+            raise ValueError("p_start must lie in [0, 1]")
+
+    @property
+    def effective_lr(self) -> float:
+        """The learning rate actually used."""
+        if self.lr is not None:
+            return self.lr
+        return 0.03 if self.parameterization == "levelset" else 0.4
+
+    def with_overrides(self, **kwargs) -> "OptimizerConfig":
+        """A copy with the given fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Named presets matching the paper's method notation                 #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def boson1(cls, **overrides) -> "OptimizerConfig":
+        """The full BOSON-1 recipe."""
+        return cls(**overrides)
+
+    @classmethod
+    def ablation_no_reshaping(cls, **overrides) -> "OptimizerConfig":
+        """Table II row: "- loss landscape reshaping" (sparse objective)."""
+        return cls(dense_objectives=False, **overrides)
+
+    @classmethod
+    def ablation_no_relax(cls, **overrides) -> "OptimizerConfig":
+        """Table II row: "- subspace relax"."""
+        return cls(relax_epochs=0, **overrides)
+
+    @classmethod
+    def ablation_exhaustive(cls, **overrides) -> "OptimizerConfig":
+        """Table II row: "exhaustive sample"."""
+        return cls(sampling="exhaustive", **overrides)
+
+    @classmethod
+    def ablation_random_init(cls, **overrides) -> "OptimizerConfig":
+        """Table II row: "random init"."""
+        return cls(init="random", **overrides)

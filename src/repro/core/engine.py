@@ -1,0 +1,368 @@
+"""End-to-end BOSON-1 inverse-design engine.
+
+:class:`Boson1Optimizer` wires every subsystem together:
+
+    theta --P--> pattern --[L_l, E_eta, T_t]--> scaled pattern
+          --FDFD+adjoint--> port powers --Eq.2--> corner loss
+          --Eq.3 blend + corner aggregation--> scalar loss --Adam--> theta'
+
+All paper techniques are :class:`~repro.core.config.OptimizerConfig`
+switches; see that module for the ablation mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.core.config import OptimizerConfig
+from repro.core.objective import build_loss, radiation_power
+from repro.core.optimizer import Adam
+from repro.core.relaxation import RelaxationSchedule
+from repro.core.sampling import AxialPlusWorstSampling, make_sampling_strategy
+from repro.devices.base import PhotonicDevice
+from repro.fab.corners import VariationCorner
+from repro.fab.litho import GaussianLithography
+from repro.fab.process import FabricationProcess
+from repro.fab.temperature import alpha_of_temperature
+from repro.fab.etch import tanh_projection
+from repro.params.density import DensityParameterization
+from repro.params.levelset import LevelSetParameterization
+from repro.params.initializers import (
+    random_theta,
+    rasterize_segments,
+    theta_from_pattern,
+)
+from repro.utils.seeding import rng_from_seed
+
+__all__ = ["Boson1Optimizer", "OptimizationResult", "IterationRecord"]
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration trace entry (feeds the Fig. 5 trajectory plots)."""
+
+    iteration: int
+    loss: float
+    p: float
+    n_corners: int
+    fom: float
+    powers: dict[str, dict[str, float]]
+
+    def radiation(self, direction: str) -> float:
+        """``1 - sum(ports)`` for one direction at this iteration."""
+        return 1.0 - sum(self.powers[direction].values())
+
+
+@dataclass
+class OptimizationResult:
+    """Output of one optimization run."""
+
+    theta: np.ndarray
+    pattern: np.ndarray
+    history: list[IterationRecord]
+    config: OptimizerConfig
+    device_name: str
+    final_loss: float = field(default=float("nan"))
+
+    @property
+    def iterations_run(self) -> int:
+        return len(self.history)
+
+    def fom_trace(self) -> np.ndarray:
+        return np.array([r.fom for r in self.history])
+
+    def loss_trace(self) -> np.ndarray:
+        return np.array([r.loss for r in self.history])
+
+    def power_trace(self, direction: str, port: str) -> np.ndarray:
+        """Time series of one port power (e.g. Fig. 5 transmission)."""
+        return np.array([r.powers[direction][port] for r in self.history])
+
+    def radiation_trace(self, direction: str) -> np.ndarray:
+        return np.array([r.radiation(direction) for r in self.history])
+
+
+class Boson1Optimizer:
+    """The adaptive variation-aware subspace optimizer.
+
+    Parameters
+    ----------
+    device:
+        Benchmark device to design.
+    config:
+        Technique switches and hyper-parameters.
+    process:
+        Fabrication chain; built with the device's litho context when
+        omitted.
+    objective_terms:
+        Optional override of the device objective (used by the ``-eff``
+        baseline variant).
+    """
+
+    def __init__(
+        self,
+        device: PhotonicDevice,
+        config: OptimizerConfig | None = None,
+        process: FabricationProcess | None = None,
+        objective_terms: dict | None = None,
+        fab_pad: int = 12,
+    ):
+        self.device = device
+        self.config = config or OptimizerConfig()
+        self.rng = rng_from_seed(self.config.seed)
+        if process is None:
+            process = FabricationProcess(
+                device.design_shape,
+                device.dl,
+                context=device.litho_context(fab_pad),
+                pad=fab_pad,
+            )
+        self.process = process
+        self.terms = objective_terms or device.objective_terms()
+        self.schedule = RelaxationSchedule(
+            self.config.relax_epochs, self.config.p_start
+        )
+        self.sampler = self._build_sampler()
+        self.param = self._build_parameterization()
+        self._blur = (
+            GaussianLithography(
+                device.design_shape, device.dl, self.config.mfs_blur_um
+            )
+            if self.config.mfs_blur_um
+            else None
+        )
+        self.theta = self._initial_theta()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers                                               #
+    # ------------------------------------------------------------------ #
+    def _build_parameterization(self):
+        cfg = self.config
+        if cfg.parameterization == "levelset":
+            return LevelSetParameterization(
+                self.device.design_shape,
+                knot_shape=cfg.knot_shape,
+                beta=cfg.levelset_beta,
+            )
+        return DensityParameterization(
+            self.device.design_shape,
+            self.device.dl,
+            beta=cfg.density_beta,
+        )
+
+    def _build_sampler(self):
+        cfg = self.config
+        kwargs = dict(
+            t_delta=cfg.t_delta,
+            eta_delta=cfg.eta_delta,
+            nominal_weight=cfg.nominal_weight,
+        )
+        if cfg.sampling in ("random", "axial+random"):
+            kwargs["n_random"] = cfg.n_random_corners
+            kwargs["n_xi"] = self.process.eole.n_terms
+        if cfg.sampling == "axial+worst":
+            kwargs["xi_step"] = cfg.worst_xi_step
+        return make_sampling_strategy(cfg.sampling, **kwargs)
+
+    def _initial_theta(self) -> np.ndarray:
+        if self.config.init == "path":
+            pattern = rasterize_segments(
+                self.device.design_shape, self.device.dl,
+                self.device.init_segments(),
+            )
+            return theta_from_pattern(self.param, pattern, self.device.dl)
+        # Raw (unsmoothed) knot noise: the paper's failure-mode baseline.
+        # Smoothing the noise would already be a mild form of
+        # initialization engineering.
+        return random_theta(self.param, self.rng, scale=1.0, smooth_cells=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Pattern decoding                                                   #
+    # ------------------------------------------------------------------ #
+    def decode(self, theta) -> Tensor:
+        """Differentiable pattern, including optional MFS blur control."""
+        rho = self.param.pattern(theta)
+        if self._blur is not None:
+            rho = tanh_projection(self._blur.image(rho), 0.5, beta=8.0)
+        return rho
+
+    def decode_array(self, theta: np.ndarray) -> np.ndarray:
+        """Hard binary pattern for evaluation."""
+        rho = self.param.pattern_array(theta)
+        if self._blur is not None:
+            rho = (self._blur.image_array(rho) > 0.5).astype(np.float64)
+        return rho
+
+    # ------------------------------------------------------------------ #
+    # Loss evaluation                                                    #
+    # ------------------------------------------------------------------ #
+    def _powers_for(self, rho_scaled: Tensor, alpha_bg: float):
+        return {
+            d: self.device.port_powers(rho_scaled, d, alpha_bg)
+            for d in self.device.directions
+        }
+
+    def _corner_loss(self, rho: Tensor, corner: VariationCorner):
+        rho_fab = self.process.apply(rho, corner)
+        alpha_bg = alpha_of_temperature(corner.temperature_k)
+        powers = self._powers_for(rho_fab, alpha_bg)
+        loss = build_loss(self.terms, powers, self.config.dense_objectives)
+        return loss, powers
+
+    def _ideal_loss(self, rho: Tensor):
+        powers = self._powers_for(rho, 1.0)
+        loss = build_loss(self.terms, powers, self.config.dense_objectives)
+        return loss, powers
+
+    def loss(
+        self, theta_t: Tensor, iteration: int
+    ) -> tuple[Tensor, dict[str, dict[str, float]]]:
+        """Eq. (3) blended loss and nominal-condition power snapshot."""
+        rho = self.decode(theta_t)
+        nominal_powers: dict[str, dict[str, float]] | None = None
+
+        if not self.config.use_fab:
+            total, powers = self._ideal_loss(rho)
+            nominal_powers = {
+                d: {k: v.item() for k, v in powers[d].items()}
+                for d in powers
+            }
+            return total, nominal_powers
+
+        worst_finder = None
+        if isinstance(self.sampler, AxialPlusWorstSampling):
+            worst_finder = self._make_worst_finder(rho)
+        corners = self.sampler.corners(iteration, self.rng, worst_finder)
+
+        fab_loss = None
+        total_weight = 0.0
+        for corner in corners:
+            loss_c, powers_c = self._corner_loss(rho, corner)
+            weighted = loss_c * corner.weight
+            fab_loss = weighted if fab_loss is None else fab_loss + weighted
+            total_weight += corner.weight
+            if nominal_powers is None and corner.is_nominal():
+                nominal_powers = {
+                    d: {k: v.item() for k, v in powers_c[d].items()}
+                    for d in powers_c
+                }
+        fab_loss = fab_loss * (1.0 / total_weight)
+
+        p = self.schedule.p(iteration)
+        if p < 1.0:
+            ideal_loss, ideal_powers = self._ideal_loss(rho)
+            total = fab_loss * p + ideal_loss * (1.0 - p)
+            if nominal_powers is None:
+                nominal_powers = {
+                    d: {k: v.item() for k, v in ideal_powers[d].items()}
+                    for d in ideal_powers
+                }
+        else:
+            total = fab_loss
+        if nominal_powers is None:
+            # Sampler produced no nominal corner: take the first corner's
+            # powers as the snapshot.
+            _, powers_c = self._corner_loss(rho, corners[0])
+            nominal_powers = {
+                d: {k: v.item() for k, v in powers_c[d].items()}
+                for d in powers_c
+            }
+        return total, nominal_powers
+
+    # ------------------------------------------------------------------ #
+    # Worst-corner search (Sec. III-E)                                   #
+    # ------------------------------------------------------------------ #
+    def _make_worst_finder(self, rho: Tensor):
+        rho_const = rho.detach()
+
+        def finder(t_step: float, xi_step: float) -> VariationCorner:
+            t_var = Tensor(np.array(300.0), requires_grad=True)
+            xi_var = Tensor(
+                np.zeros(self.process.eole.n_terms), requires_grad=True
+            )
+            probe = VariationCorner("worst-probe")
+            rho_fab = self.process.apply(
+                rho_const, probe, temperature=t_var, xi=xi_var
+            )
+            powers = self._powers_for(rho_fab, 1.0)
+            loss = build_loss(self.terms, powers, self.config.dense_objectives)
+            loss.backward()
+            t_grad = 0.0 if t_var.grad is None else float(t_var.grad)
+            xi_grad = (
+                np.zeros(self.process.eole.n_terms)
+                if xi_var.grad is None
+                else xi_var.grad
+            )
+            # One signed-gradient ascent step on the loss (FGSM-style).
+            t_worst = 300.0 + t_step * np.sign(t_grad)
+            xi_worst = xi_step * np.sign(xi_grad)
+            return VariationCorner(
+                "worst",
+                litho="nominal",
+                temperature_k=float(t_worst),
+                xi=xi_worst,
+            )
+
+        return finder
+
+    # ------------------------------------------------------------------ #
+    # Main loop                                                          #
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        iterations: int | None = None,
+        callback: Callable[[IterationRecord], None] | None = None,
+    ) -> OptimizationResult:
+        """Optimize and return the trajectory + final design.
+
+        Parameters
+        ----------
+        iterations:
+            Override of ``config.iterations``.
+        callback:
+            Called with each :class:`IterationRecord` (for live logging).
+        """
+        n_iter = iterations if iterations is not None else self.config.iterations
+        adam = Adam(lr=self.config.effective_lr)
+        theta = np.array(self.theta, dtype=np.float64)
+        history: list[IterationRecord] = []
+        final_loss = float("nan")
+
+        for it in range(n_iter):
+            theta_t = Tensor(theta, requires_grad=True)
+            loss, nominal_powers = self.loss(theta_t, it)
+            loss.backward()
+            grad = (
+                theta_t.grad
+                if theta_t.grad is not None
+                else np.zeros_like(theta)
+            )
+            record = IterationRecord(
+                iteration=it,
+                loss=loss.item(),
+                p=self.schedule.p(it) if self.config.use_fab else 0.0,
+                n_corners=0 if not self.config.use_fab else len(
+                    self.sampler.corners(it, rng_from_seed(0))
+                ),
+                fom=self.device.fom(nominal_powers),
+                powers=nominal_powers,
+            )
+            history.append(record)
+            if callback is not None:
+                callback(record)
+            theta = adam.step(theta, grad)
+            final_loss = record.loss
+
+        self.theta = theta
+        return OptimizationResult(
+            theta=theta,
+            pattern=self.decode_array(theta),
+            history=history,
+            config=self.config,
+            device_name=self.device.name,
+            final_loss=final_loss,
+        )

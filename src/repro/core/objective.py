@@ -1,0 +1,129 @@
+"""Objective construction: sparse FoM plus Eq. (2) dense penalties.
+
+The paper's Eq. (2):
+
+    obj = F(eps | lam_c) + sum_i w_i [ F_i(eps | lam_c) - C_i ]_+
+
+Devices describe their objective declaratively (``device.objective_terms``)
+and this module turns one set of simulated port powers into a scalar
+*loss* (lower = better, so "maximize transmission" contributes ``-T``).
+
+Port name ``"__radiation__"`` denotes the energy-conservation residual
+``1 - sum(monitored ports)`` — radiated power absorbed by the PML.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.autodiff import Tensor
+from repro.autodiff import functional as F
+from repro.autodiff.ops import as_tensor
+
+__all__ = ["radiation_power", "penalty", "build_loss"]
+
+
+def radiation_power(direction_powers: Mapping[str, Tensor]) -> Tensor:
+    """``1 - sum(port powers)``: what escaped every monitor.
+
+    Lossless materials + PML absorption mean this is the radiated power
+    (up to discretization error), which is how the paper's "radiation
+    monitor" objective is realized without extra adjoint terms.
+    """
+    total = None
+    for value in direction_powers.values():
+        total = value if total is None else total + value
+    if total is None:
+        raise ValueError("no port powers given")
+    return 1.0 - total
+
+
+def _resolve_port(powers, direction: str, port: str):
+    try:
+        direction_powers = powers[direction]
+    except KeyError:
+        raise KeyError(
+            f"objective references direction {direction!r} but only "
+            f"{sorted(powers)} were simulated"
+        ) from None
+    if port == "__radiation__":
+        return radiation_power(direction_powers)
+    try:
+        return direction_powers[port]
+    except KeyError:
+        raise KeyError(
+            f"objective references port {port!r}; direction {direction!r} "
+            f"has {sorted(direction_powers)}"
+        ) from None
+
+
+def penalty(value, bound: float, side: str, weight: float) -> Tensor:
+    """One relaxed inequality constraint ``w [F - C]_+`` of Eq. (2).
+
+    ``side="upper"`` penalizes ``value > bound`` (e.g. reflection caps);
+    ``side="lower"`` penalizes ``value < bound`` (e.g. minimum forward
+    transmission).
+    """
+    if side not in ("upper", "lower"):
+        raise ValueError(f"side must be 'upper' or 'lower', got {side!r}")
+    if weight < 0:
+        raise ValueError(f"penalty weight must be >= 0, got {weight}")
+    value = as_tensor(value)
+    if side == "upper":
+        return F.relu(value - bound) * weight
+    return F.relu(bound - value) * weight
+
+
+def build_loss(
+    terms: dict,
+    powers: Mapping[str, Mapping[str, Tensor]],
+    dense: bool = True,
+) -> Tensor:
+    """Scalar loss from an objective description and simulated powers.
+
+    Parameters
+    ----------
+    terms:
+        Device objective description::
+
+            {"main": {"direction", "kind": "maximize"|"minimize", "port"}
+                     | {"kind": "contrast", "num": (dir, port),
+                        "den": (dir, port), "floor": float},
+             "penalties": [{"direction", "port", "bound", "side",
+                            "weight"}, ...]}
+
+    powers:
+        ``powers[direction][port] -> Tensor`` (scalars).
+    dense:
+        False reproduces the *sparse single objective* of conventional
+        inverse design (Fig. 5b/c, Table II's "- loss landscape
+        reshaping"): penalties are dropped entirely.
+
+    Returns
+    -------
+    Tensor
+        Scalar loss; lower is better.
+    """
+    main = terms["main"]
+    kind = main["kind"]
+    if kind == "maximize":
+        loss = -_resolve_port(powers, main["direction"], main["port"])
+    elif kind == "minimize":
+        loss = _resolve_port(powers, main["direction"], main["port"])
+    elif kind == "contrast":
+        num_dir, num_port = main["num"]
+        den_dir, den_port = main["den"]
+        num = _resolve_port(powers, num_dir, num_port)
+        den = _resolve_port(powers, den_dir, den_port)
+        floor = float(main.get("floor", 1e-4))
+        loss = num / F.maximum(den, as_tensor(floor))
+    else:
+        raise ValueError(f"unknown main objective kind {kind!r}")
+
+    if dense:
+        for spec in terms.get("penalties", ()):
+            value = _resolve_port(powers, spec["direction"], spec["port"])
+            loss = loss + penalty(
+                value, spec["bound"], spec["side"], spec["weight"]
+            )
+    return loss

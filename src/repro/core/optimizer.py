@@ -1,0 +1,68 @@
+"""Adam optimizer on raw numpy parameter arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) for a single parameter array.
+
+    Parameters
+    ----------
+    lr:
+        Step size.
+    beta1, beta2:
+        Moment decay rates.
+    eps:
+        Denominator stabilizer.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.05,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must lie in [0, 1)")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._t
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters (descent direction: minimizes loss)."""
+        params = np.asarray(params, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != params.shape:
+            raise ValueError(
+                f"grad shape {grad.shape} != params shape {params.shape}"
+            )
+        if self._m is None:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad**2
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return params - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        """Clear the moment estimates (restart)."""
+        self._m = None
+        self._v = None
+        self._t = 0

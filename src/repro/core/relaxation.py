@@ -1,0 +1,57 @@
+"""Conditional subspace relaxation schedule (paper Eq. 3, Sec. III-D2).
+
+The fabricable subspace is low-dimensional and its sharp local optima are
+hard to escape; the litho model also attenuates gradients on small
+features.  Eq. (3) therefore blends the fabrication-aware objective with
+the *ideal* (un-fabricated pattern) objective:
+
+    obj = p * E[ fab-aware ] + (1 - p) * ideal ,
+
+with ``p`` ramping to 1 so the final design is guaranteed fabricable.
+The ideal branch is the "high-dimensional tunnel" of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RelaxationSchedule"]
+
+
+@dataclass(frozen=True)
+class RelaxationSchedule:
+    """Linear ramp of the fab-aware blend factor ``p``.
+
+    Parameters
+    ----------
+    relax_epochs:
+        Iterations over which ``p`` ramps from ``p_start`` to 1.
+        ``0`` disables relaxation (``p = 1`` always): pure subspace
+        optimization, the "- subspace relax" ablation row.
+    p_start:
+        Initial blend factor.
+    """
+
+    relax_epochs: int = 20
+    p_start: float = 0.2
+
+    def __post_init__(self):
+        if self.relax_epochs < 0:
+            raise ValueError("relax_epochs must be >= 0")
+        if not 0.0 <= self.p_start <= 1.0:
+            raise ValueError("p_start must lie in [0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.relax_epochs > 0
+
+    def p(self, iteration: int) -> float:
+        """Blend factor at a 0-based iteration."""
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        if not self.enabled:
+            return 1.0
+        if iteration >= self.relax_epochs:
+            return 1.0
+        frac = iteration / self.relax_epochs
+        return self.p_start + (1.0 - self.p_start) * frac

@@ -1,0 +1,210 @@
+"""Variation-sampling strategies (paper Sec. III-E, Fig. 6a).
+
+Each strategy decides which :class:`~repro.fab.corners.VariationCorner`\\ s
+the optimizer simulates at a given iteration:
+
+===================  ======  ====================================================
+strategy             #sims   description
+===================  ======  ====================================================
+``nominal``          1       no variation awareness
+``single-sided``     4       nominal + one max corner per axis (O(N))
+``axial``            7       nominal + min & max per axis (O(2N), symmetric)
+``exhaustive``       27      full corner sweep (O(3^N)) — the unscalable baseline
+``random``           1+k     nominal + k Monte-Carlo corners per iteration
+``axial+random``     7+k     axial plus k random corners
+``axial+worst``      7+1     axial plus a one-step gradient-ascent worst corner
+===================  ======  ====================================================
+
+The worst corner implements the paper's SAM/FGSM-inspired move: ascend the
+loss one signed-gradient step in the (temperature, EOLE-coefficient)
+variation space, then include the resulting corner in the training set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.fab.corners import CornerSet, VariationCorner
+
+__all__ = [
+    "SamplingStrategy",
+    "NominalSampling",
+    "SingleSidedAxialSampling",
+    "AxialSampling",
+    "ExhaustiveSampling",
+    "RandomSampling",
+    "AxialPlusRandomSampling",
+    "AxialPlusWorstSampling",
+    "make_sampling_strategy",
+    "SAMPLING_STRATEGIES",
+]
+
+
+class WorstCornerFinder(Protocol):
+    """Callback the engine provides to locate the worst corner.
+
+    Called as ``finder(t_step, xi_step) -> VariationCorner``.
+    """
+
+    def __call__(self, t_step: float, xi_step: float) -> VariationCorner: ...
+
+
+class SamplingStrategy:
+    """Base class; subclasses override :meth:`corners`."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        t_delta: float = 30.0,
+        eta_delta: float = 0.03,
+        nominal_weight: float = 1.0,
+    ):
+        self.t_delta = float(t_delta)
+        self.eta_delta = float(eta_delta)
+        self.nominal_weight = float(nominal_weight)
+
+    def corners(
+        self,
+        iteration: int,
+        rng: np.random.Generator,
+        worst_finder: WorstCornerFinder | None = None,
+    ) -> list[VariationCorner]:
+        raise NotImplementedError
+
+    def simulations_per_iteration(self) -> int:
+        """Corner count (the paper's cost metric; 2 EM solves per corner
+        per direction)."""
+        return len(self.corners(0, np.random.default_rng(0)))
+
+
+class NominalSampling(SamplingStrategy):
+    """No variation awareness (the "Nominal only" bar of Fig. 6a)."""
+
+    name = "nominal"
+
+    def corners(self, iteration, rng, worst_finder=None):
+        return list(CornerSet.nominal_only())
+
+
+class SingleSidedAxialSampling(SamplingStrategy):
+    """One-sided axial corners; asymmetric, performs poorly (Fig. 6a)."""
+
+    name = "single-sided"
+
+    def corners(self, iteration, rng, worst_finder=None):
+        return list(CornerSet.single_sided_axial(self.t_delta, self.eta_delta))
+
+
+class AxialSampling(SamplingStrategy):
+    """Double-sided axial corners (nominal + 6)."""
+
+    name = "axial"
+
+    def corners(self, iteration, rng, worst_finder=None):
+        return list(
+            CornerSet.axial(
+                self.t_delta,
+                self.eta_delta,
+                nominal_weight=self.nominal_weight,
+            )
+        )
+
+
+class ExhaustiveSampling(SamplingStrategy):
+    """Full 3^3 corner sweep — exponential cost and attention distraction."""
+
+    name = "exhaustive"
+
+    def corners(self, iteration, rng, worst_finder=None):
+        return list(CornerSet.exhaustive(self.t_delta, self.eta_delta))
+
+
+class RandomSampling(SamplingStrategy):
+    """Nominal + k fresh Monte-Carlo corners each iteration."""
+
+    name = "random"
+
+    def __init__(self, n_random: int = 2, n_xi: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        if n_random < 1:
+            raise ValueError("n_random must be >= 1")
+        self.n_random = int(n_random)
+        self.n_xi = int(n_xi)
+
+    def corners(self, iteration, rng, worst_finder=None):
+        out = list(CornerSet.nominal_only())
+        out.extend(
+            CornerSet.random(
+                rng, self.n_random, self.t_delta, self.eta_delta, self.n_xi
+            )
+        )
+        return out
+
+
+class AxialPlusRandomSampling(RandomSampling):
+    """Axial corners + k random corners (same budget as axial+worst)."""
+
+    name = "axial+random"
+
+    def corners(self, iteration, rng, worst_finder=None):
+        out = list(CornerSet.axial(self.t_delta, self.eta_delta))
+        out.extend(
+            CornerSet.random(
+                rng, self.n_random, self.t_delta, self.eta_delta, self.n_xi
+            )
+        )
+        return out
+
+
+class AxialPlusWorstSampling(AxialSampling):
+    """Axial corners + the one-step gradient-ascent worst corner.
+
+    This is BOSON-1's default (the best bar of Fig. 6a).  When no
+    ``worst_finder`` is available (e.g. during pure evaluation) it
+    degrades gracefully to plain axial sampling.
+    """
+
+    name = "axial+worst"
+
+    def __init__(self, t_step: float | None = None, xi_step: float = 1.0, **kwargs):
+        super().__init__(**kwargs)
+        self.t_step = float(t_step) if t_step is not None else self.t_delta
+        self.xi_step = float(xi_step)
+
+    def corners(self, iteration, rng, worst_finder=None):
+        out = list(
+            CornerSet.axial(
+                self.t_delta,
+                self.eta_delta,
+                nominal_weight=self.nominal_weight,
+            )
+        )
+        if worst_finder is not None:
+            out.append(worst_finder(self.t_step, self.xi_step))
+        return out
+
+
+SAMPLING_STRATEGIES: dict[str, Callable[..., SamplingStrategy]] = {
+    "nominal": NominalSampling,
+    "single-sided": SingleSidedAxialSampling,
+    "axial": AxialSampling,
+    "exhaustive": ExhaustiveSampling,
+    "random": RandomSampling,
+    "axial+random": AxialPlusRandomSampling,
+    "axial+worst": AxialPlusWorstSampling,
+}
+
+
+def make_sampling_strategy(name: str, **kwargs) -> SamplingStrategy:
+    """Instantiate a sampling strategy by its Fig. 6(a) name."""
+    try:
+        cls = SAMPLING_STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampling strategy {name!r}; "
+            f"have {sorted(SAMPLING_STRATEGIES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,46 @@
+"""Benchmark photonic devices (paper Sec. IV-A).
+
+Three representative inverse-design tasks:
+
+* :class:`WaveguideBend` — steer light through 90 degrees;
+* :class:`WaveguideCrossing` — cross two waveguides without crosstalk;
+* :class:`OpticalIsolator` — convert TM1 to TM3 in the forward direction
+  with high efficiency while backward-injected light is rejected
+  (radiated), measured as the isolation contrast ``E_bwd / E_fwd``.
+
+Each device owns its simulation grid, background waveguide geometry,
+ports, calibration (input-power) runs, light-concentrated initialization
+geometry, and the dense-objective definition of Eq. (2).
+"""
+
+from repro.devices.base import PhotonicDevice
+from repro.devices.bending import WaveguideBend
+from repro.devices.crossing import WaveguideCrossing
+from repro.devices.isolator import OpticalIsolator
+
+DEVICE_REGISTRY = {
+    "bending": WaveguideBend,
+    "crossing": WaveguideCrossing,
+    "isolator": OpticalIsolator,
+}
+
+
+def make_device(name: str, **kwargs) -> PhotonicDevice:
+    """Instantiate a benchmark device by name."""
+    try:
+        cls = DEVICE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; have {sorted(DEVICE_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "PhotonicDevice",
+    "WaveguideBend",
+    "WaveguideCrossing",
+    "OpticalIsolator",
+    "DEVICE_REGISTRY",
+    "make_device",
+]

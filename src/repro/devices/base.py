@@ -1,0 +1,287 @@
+"""Device base class: geometry + simulation + differentiable port powers.
+
+A :class:`PhotonicDevice` ties together
+
+* a :class:`~repro.fdfd.grid.SimGrid` and a rectangular *design region*,
+* the fixed *background* waveguide geometry feeding the region,
+* per-direction port sets (source, transmission, reflection, crosstalk),
+* a cached *calibration run* per (direction, temperature scale) providing
+  the input power ``P_in`` and the incident field for reflection
+  subtraction, and
+* the autodiff custom op ``rho_scaled -> normalized port powers`` whose
+  VJP is one adjoint FDFD solve.
+
+Subclasses define geometry, ports, initialization paths and the device
+objective (Eq. 2 terms).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff.ops import as_tensor, custom_vjp_with_residuals
+from repro.fdfd.adjoint import PortPowerProblem, PortSpec
+from repro.fdfd.grid import SimGrid
+from repro.params.initializers import PathSegment
+from repro.utils.constants import EPS_SI, EPS_VOID, omega_from_wavelength
+
+__all__ = ["PhotonicDevice"]
+
+
+class PhotonicDevice:
+    """Base class for benchmark devices.
+
+    Parameters
+    ----------
+    grid:
+        Simulation window.
+    design_slice:
+        ``(slice_x, slice_y)`` of the design region in grid cells.
+    wavelength_um:
+        Operating free-space wavelength.
+    eps_solid:
+        Nominal solid permittivity (silicon at 300 K by default).
+
+    Subclass contract
+    -----------------
+    * ``directions`` — propagation directions to simulate, e.g.
+      ``("fwd",)`` or ``("fwd", "bwd")``.
+    * :meth:`background_occupancy` — binary full-grid occupancy of the
+      fixed waveguides, **zero inside the design window**.
+    * :meth:`monitor_ports` / :meth:`source_port` — per direction.
+    * :meth:`calibration_occupancy` / :meth:`calibration_monitor` — the
+      straight-guide geometry and monitor measuring launched power.
+    * :meth:`init_segments` — light-concentrated initialization paths in
+      design-region coordinates.
+    * :meth:`objective_terms` — the Eq. (2) objective description.
+    * :meth:`fom` — scalar figure of merit from per-direction powers
+      (higher is NOT always better; see ``fom_lower_is_better``).
+    """
+
+    name: str = "device"
+    directions: tuple[str, ...] = ("fwd",)
+    #: True when the FoM is a cost (the isolator's contrast ratio).
+    fom_lower_is_better: bool = False
+
+    def __init__(
+        self,
+        grid: SimGrid,
+        design_slice: tuple[slice, slice],
+        wavelength_um: float = 1.55,
+        eps_solid: float = EPS_SI,
+    ):
+        self.grid = grid
+        self.design_slice = design_slice
+        self.wavelength_um = float(wavelength_um)
+        self.omega = omega_from_wavelength(wavelength_um)
+        self.eps_solid = float(eps_solid)
+        sx, sy = design_slice
+        self.design_shape = (
+            len(range(*sx.indices(grid.nx))),
+            len(range(*sy.indices(grid.ny))),
+        )
+        self._background = None
+        self._calibration_cache: dict[tuple[str, float], tuple] = {}
+
+    # ------------------------------------------------------------------ #
+    # Geometry interface (subclasses)                                    #
+    # ------------------------------------------------------------------ #
+    def background_occupancy(self) -> np.ndarray:
+        """Binary occupancy of fixed waveguides; zero in design window."""
+        raise NotImplementedError
+
+    def monitor_ports(self, direction: str) -> Sequence[PortSpec]:
+        raise NotImplementedError
+
+    def source_port(self, direction: str) -> PortSpec:
+        raise NotImplementedError
+
+    def calibration_occupancy(self, direction: str) -> np.ndarray:
+        """Full-grid occupancy of the calibration (norm-run) geometry."""
+        raise NotImplementedError
+
+    def calibration_monitor(self, direction: str) -> PortSpec:
+        """Port measuring the launched power in the calibration run."""
+        raise NotImplementedError
+
+    def init_segments(self) -> list[PathSegment]:
+        """Light-concentrated initialization paths (design coords, um)."""
+        raise NotImplementedError
+
+    def objective_terms(self) -> dict:
+        """Objective description consumed by :mod:`repro.core.objective`."""
+        raise NotImplementedError
+
+    def fom(self, powers: Mapping[str, Mapping[str, float]]) -> float:
+        """Scalar figure of merit from per-direction port powers."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Derived geometry helpers                                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def dl(self) -> float:
+        return self.grid.dl
+
+    def cached_background(self) -> np.ndarray:
+        if self._background is None:
+            bg = np.asarray(self.background_occupancy(), dtype=np.float64)
+            if bg.shape != self.grid.shape:
+                raise ValueError("background occupancy has wrong shape")
+            if np.any(bg[self.design_slice] != 0):
+                raise ValueError(
+                    "background occupancy must be zero inside the design "
+                    "window"
+                )
+            self._background = bg
+        return self._background
+
+    def design_origin_um(self) -> tuple[float, float]:
+        """Bottom-left corner of the design region in window coordinates."""
+        sx, sy = self.design_slice
+        return (sx.start * self.dl, sy.start * self.dl)
+
+    def litho_context(self, pad: int) -> np.ndarray:
+        """Context tile for the fabrication model.
+
+        The background occupancy in a ``pad``-cell collar around the
+        design region, on the padded design tile (zero in the centre).
+        """
+        bg = self.cached_background()
+        sx, sy = self.design_slice
+        nx, ny = self.design_shape
+        tile = np.zeros((nx + 2 * pad, ny + 2 * pad))
+        # Global-grid window the tile covers, clipped to the grid.
+        gx0, gy0 = sx.start - pad, sy.start - pad
+        cx0, cy0 = max(gx0, 0), max(gy0, 0)
+        cx1 = min(gx0 + tile.shape[0], self.grid.nx)
+        cy1 = min(gy0 + tile.shape[1], self.grid.ny)
+        tile[cx0 - gx0 : cx1 - gx0, cy0 - gy0 : cy1 - gy0] = bg[cx0:cx1, cy0:cy1]
+        tile[pad : pad + nx, pad : pad + ny] = 0.0
+        return tile
+
+    def eps_from_occupancy(self, occupancy: np.ndarray) -> np.ndarray:
+        """Permittivity map from a (possibly alpha-scaled) occupancy."""
+        return EPS_VOID + (self.eps_solid - EPS_VOID) * occupancy
+
+    # ------------------------------------------------------------------ #
+    # Calibration (normalization runs)                                   #
+    # ------------------------------------------------------------------ #
+    def _problem(self, direction: str) -> PortPowerProblem:
+        return PortPowerProblem(
+            self.grid,
+            self.omega,
+            list(self.monitor_ports(direction)),
+            self.source_port(direction),
+        )
+
+    def calibration(
+        self, direction: str, alpha_bg: float = 1.0
+    ) -> tuple[PortPowerProblem, float, np.ndarray]:
+        """Problem, input power and incident field for one direction.
+
+        ``alpha_bg`` is the temperature occupancy scale applied to the
+        background (cached per rounded value, since temperature corners
+        shift the launched power slightly).
+        """
+        key = (direction, round(float(alpha_bg), 9))
+        if key not in self._calibration_cache:
+            problem = self._problem(direction)
+            calib_occ = np.asarray(
+                self.calibration_occupancy(direction), dtype=np.float64
+            )
+            eps_calib = self.eps_from_occupancy(calib_occ * alpha_bg)
+            calib_port = self.calibration_monitor(direction)
+            calib_problem = PortPowerProblem(
+                self.grid, self.omega, [calib_port], self.source_port(direction)
+            )
+            sol = calib_problem.solve(eps_calib)
+            p_in = sol.raw_powers[calib_port.name]
+            if p_in <= 0:
+                raise RuntimeError(
+                    f"calibration run for {self.name}/{direction} launched "
+                    "no power — check the port geometry"
+                )
+            incident = sol.fields.ez
+            self._calibration_cache[key] = (problem, p_in, incident)
+        return self._calibration_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Differentiable port powers                                         #
+    # ------------------------------------------------------------------ #
+    def port_names(self, direction: str) -> list[str]:
+        return [p.name for p in self.monitor_ports(direction)]
+
+    def _power_op(
+        self, direction: str, alpha_bg: float
+    ) -> Callable[[Tensor], Tensor]:
+        """Custom op: design occupancy -> normalized port power vector."""
+        problem, p_in, incident = self.calibration(direction, alpha_bg)
+        names = self.port_names(direction)
+        bg_scaled = self.cached_background() * alpha_bg
+        dslice = self.design_slice
+        contrast = self.eps_solid - EPS_VOID
+
+        def forward(occ_design):
+            occ = bg_scaled.copy()
+            occ[dslice] = occ_design
+            eps = self.eps_from_occupancy(occ)
+            sol = problem.solve(eps, incident_ez=incident)
+            powers = np.array(
+                [sol.raw_powers[n] / p_in for n in names], dtype=np.float64
+            )
+            return powers, sol
+
+        def vjp(g, out, sol, occ_design):
+            cotangents = {n: float(gi) for n, gi in zip(names, g)}
+            grad_eps = problem.grad_eps(sol, cotangents, input_power=p_in)
+            return (grad_eps[dslice] * contrast,)
+
+        return custom_vjp_with_residuals(
+            forward, vjp, name=f"{self.name}:{direction}:powers"
+        )
+
+    def port_powers(
+        self, rho_scaled, direction: str, alpha_bg: float = 1.0
+    ) -> dict[str, Tensor]:
+        """Normalized port powers of a design pattern (differentiable).
+
+        Parameters
+        ----------
+        rho_scaled:
+            Scaled design occupancy (design-region shape), i.e. the
+            fabrication chain's output ``rho_tilde'`` in ``[0, alpha_t]``.
+        direction:
+            One of :attr:`directions`.
+        alpha_bg:
+            Temperature scale for the *background* (held constant on the
+            tape; the design's own temperature dependence arrives through
+            ``rho_scaled``).
+        """
+        if direction not in self.directions:
+            raise ValueError(
+                f"unknown direction {direction!r}; have {self.directions}"
+            )
+        rho_scaled = as_tensor(rho_scaled)
+        if tuple(rho_scaled.shape) != self.design_shape:
+            raise ValueError(
+                f"design shape {rho_scaled.shape} != {self.design_shape}"
+            )
+        op = self._power_op(direction, alpha_bg)
+        vector = op(rho_scaled)
+        return {
+            name: vector[i] for i, name in enumerate(self.port_names(direction))
+        }
+
+    def port_powers_array(
+        self, rho_scaled: np.ndarray, direction: str, alpha_bg: float = 1.0
+    ) -> dict[str, float]:
+        """Plain numpy port powers (evaluation path, no tape)."""
+        problem, p_in, incident = self.calibration(direction, alpha_bg)
+        occ = self.cached_background() * alpha_bg
+        occ[self.design_slice] = rho_scaled
+        sol = problem.solve(self.eps_from_occupancy(occ), incident_ez=incident)
+        return {n: sol.raw_powers[n] / p_in for n in self.port_names(direction)}

@@ -1,0 +1,122 @@
+"""Waveguide-crossing benchmark.
+
+Two perpendicular waveguides intersect inside the design region; light
+entering from the west must exit east with minimal crosstalk into the
+north/south arms and minimal reflection.  FoM: transmission efficiency
+(higher is better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.base import PhotonicDevice
+from repro.devices.geometry import centered_slice, horizontal_guide, vertical_guide
+from repro.fdfd.adjoint import PortSpec
+from repro.fdfd.grid import SimGrid
+from repro.params.initializers import PathSegment
+
+__all__ = ["WaveguideCrossing"]
+
+
+class WaveguideCrossing(PhotonicDevice):
+    """Waveguide crossing in a 4 x 4 um window."""
+
+    name = "crossing"
+    directions = ("fwd",)
+    fom_lower_is_better = False
+
+    def __init__(
+        self,
+        dl: float = 0.05,
+        npml: int = 10,
+        domain_um: float = 4.0,
+        guide_width_um: float = 0.4,
+        design_size_um: float = 1.6,
+        wavelength_um: float = 1.55,
+    ):
+        n = int(round(domain_um / dl))
+        grid = SimGrid((n, n), dl=dl, npml=npml)
+        centre = domain_um / 2.0
+        span = centered_slice(centre, design_size_um, dl)
+        design_slice = (span, span)
+        super().__init__(grid, design_slice, wavelength_um)
+        self.domain_um = domain_um
+        self.guide_width_um = guide_width_um
+        self.centre_um = centre
+        self.design_lo_um = span.start * dl
+        self.design_hi_um = span.stop * dl
+        self._port_width = 8 * guide_width_um
+
+    # ------------------------------------------------------------------ #
+    def background_occupancy(self) -> np.ndarray:
+        g, w, c = self.grid, self.guide_width_um, self.centre_um
+        occ = horizontal_guide(g, c, w) + vertical_guide(g, c, w)
+        occ = np.clip(occ, 0, 1)
+        occ[self.design_slice] = 0.0
+        return occ
+
+    def monitor_ports(self, direction: str):
+        c, pw, d = self.centre_um, self._port_width, self.domain_um
+        return [
+            PortSpec("out", "x", d - 0.7, c, pw),
+            PortSpec("refl", "x", 0.9, c, pw, subtract_incident=True),
+            PortSpec("xtalk_n", "y", d - 0.7, c, pw),
+            PortSpec("xtalk_s", "y", 0.7, c, pw),
+        ]
+
+    def source_port(self, direction: str) -> PortSpec:
+        return PortSpec("src", "x", 0.7, self.centre_um, self._port_width)
+
+    def calibration_occupancy(self, direction: str) -> np.ndarray:
+        # Horizontal guide only: measures launched power without the
+        # vertical arm scattering it.
+        return horizontal_guide(self.grid, self.centre_um, self.guide_width_um)
+
+    def calibration_monitor(self, direction: str) -> PortSpec:
+        return PortSpec(
+            "calib", "x", self.domain_um - 0.7, self.centre_um, self._port_width
+        )
+
+    def init_segments(self) -> list[PathSegment]:
+        """A plus-shaped path connecting all four arms."""
+        size = self.design_hi_um - self.design_lo_um
+        mid = size / 2.0
+        w = self.guide_width_um
+        return [
+            PathSegment((0.0, mid), (size, mid), w),
+            PathSegment((mid, 0.0), (mid, size), w),
+        ]
+
+    # ------------------------------------------------------------------ #
+    def objective_terms(self) -> dict:
+        return {
+            "main": {"direction": "fwd", "kind": "maximize", "port": "out"},
+            "penalties": [
+                {
+                    "direction": "fwd",
+                    "port": "refl",
+                    "bound": 0.05,
+                    "side": "upper",
+                    "weight": 1.0,
+                },
+                {
+                    "direction": "fwd",
+                    "port": "xtalk_n",
+                    "bound": 0.02,
+                    "side": "upper",
+                    "weight": 1.0,
+                },
+                {
+                    "direction": "fwd",
+                    "port": "xtalk_s",
+                    "bound": 0.02,
+                    "side": "upper",
+                    "weight": 1.0,
+                },
+            ],
+        }
+
+    def fom(self, powers) -> float:
+        """Transmission efficiency through the crossing."""
+        return float(powers["fwd"]["out"])

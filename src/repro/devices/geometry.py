@@ -1,0 +1,80 @@
+"""Rasterized geometry primitives for device backgrounds."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fdfd.grid import SimGrid
+
+__all__ = [
+    "rectangle",
+    "horizontal_guide",
+    "vertical_guide",
+    "centered_slice",
+]
+
+
+def centered_slice(centre_um: float, size_um: float, dl: float) -> slice:
+    """A cell slice of ``size_um`` centred on ``centre_um``, exactly.
+
+    Uses integer arithmetic around the centre cell so that a design
+    region centred on a symmetric structure is itself symmetric —
+    floating-point variants of ``round(x/dl)`` can land one cell off and
+    silently break mirror symmetries of the device.
+    """
+    n_cells = int(round(size_um / dl))
+    centre_cell = int(round(centre_um / dl))
+    start = centre_cell - n_cells // 2
+    return slice(start, start + n_cells)
+
+
+def rectangle(
+    grid: SimGrid,
+    x_lo_um: float,
+    x_hi_um: float,
+    y_lo_um: float,
+    y_hi_um: float,
+) -> np.ndarray:
+    """Binary occupancy of an axis-aligned rectangle (cell-centre test)."""
+    X, Y = grid.meshgrid()
+    return (
+        (X >= x_lo_um) & (X < x_hi_um) & (Y >= y_lo_um) & (Y < y_hi_um)
+    ).astype(np.float64)
+
+
+def horizontal_guide(
+    grid: SimGrid,
+    y_center_um: float,
+    width_um: float,
+    x_lo_um: float = 0.0,
+    x_hi_um: float | None = None,
+) -> np.ndarray:
+    """A waveguide running along x."""
+    if x_hi_um is None:
+        x_hi_um = grid.extent_um[0]
+    return rectangle(
+        grid,
+        x_lo_um,
+        x_hi_um,
+        y_center_um - width_um / 2.0,
+        y_center_um + width_um / 2.0,
+    )
+
+
+def vertical_guide(
+    grid: SimGrid,
+    x_center_um: float,
+    width_um: float,
+    y_lo_um: float = 0.0,
+    y_hi_um: float | None = None,
+) -> np.ndarray:
+    """A waveguide running along y."""
+    if y_hi_um is None:
+        y_hi_um = grid.extent_um[1]
+    return rectangle(
+        grid,
+        x_center_um - width_um / 2.0,
+        x_center_um + width_um / 2.0,
+        y_lo_um,
+        y_hi_um,
+    )

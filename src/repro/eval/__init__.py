@@ -1,0 +1,33 @@
+"""Post-fabrication robustness evaluation (paper Sec. IV-B protocol).
+
+The paper measures every design by Monte-Carlo sampling of the variation
+space — lithography corner, spatially varying etch threshold, operating
+temperature, 20 samples under uniform/Gaussian distributions — and reports
+the mean FoM.  :func:`evaluate_post_fab` reproduces that protocol;
+:func:`evaluate_ideal` gives the left-hand side of the paper's
+``pre-fab -> post-fab`` arrows.
+"""
+
+from repro.eval.montecarlo import (
+    RobustnessReport,
+    evaluate_ideal,
+    evaluate_post_fab,
+)
+from repro.eval.metrics import degradation_percent, improvement_percent
+from repro.eval.reporting import format_table
+from repro.eval.spectrum import SpectrumResult, wavelength_sweep
+from repro.eval.yield_analysis import YieldReport, estimate_yield, yield_curve
+
+__all__ = [
+    "YieldReport",
+    "estimate_yield",
+    "yield_curve",
+    "RobustnessReport",
+    "evaluate_ideal",
+    "evaluate_post_fab",
+    "degradation_percent",
+    "improvement_percent",
+    "format_table",
+    "SpectrumResult",
+    "wavelength_sweep",
+]

@@ -1,0 +1,40 @@
+"""Comparison metrics used in the paper's tables."""
+
+from __future__ import annotations
+
+__all__ = ["degradation_percent", "improvement_percent"]
+
+
+def degradation_percent(
+    baseline: float, value: float, lower_is_better: bool = False
+) -> float:
+    """Relative degradation of ``value`` against ``baseline`` in percent.
+
+    Matches Table II's "degradation" column: how much worse a variant is
+    than the full method.  For lower-is-better FoMs (isolator contrast) a
+    *larger* value is the degradation.
+    """
+    if baseline == 0:
+        raise ValueError("baseline FoM must be non-zero")
+    if lower_is_better:
+        ratio = (value - baseline) / value if value != 0 else 1.0
+    else:
+        ratio = (baseline - value) / baseline
+    return 100.0 * ratio
+
+
+def improvement_percent(
+    ours: float, reference: float, lower_is_better: bool = False
+) -> float:
+    """Relative improvement of ``ours`` over ``reference`` in percent.
+
+    Matches Table I's "avg improvement" rows.  Capped at 100% for
+    lower-is-better metrics (a contrast driven to ~0 is a full win).
+    """
+    if lower_is_better:
+        if reference == 0:
+            raise ValueError("reference FoM must be non-zero")
+        return 100.0 * (reference - ours) / reference
+    if reference == 0:
+        return 100.0 if ours > 0 else 0.0
+    return 100.0 * (ours - reference) / reference

@@ -1,0 +1,113 @@
+"""Parametric yield estimation under fabrication/operation variations.
+
+Variation-aware design ultimately targets *yield*: the fraction of
+fabricated dies that meet spec.  This module turns the Monte-Carlo
+machinery of :mod:`repro.eval.montecarlo` into yield numbers and
+spec-sweep curves — the standard deliverable of a variation-aware EDA
+flow, and a natural consumer of the paper's robust-optimization output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.base import PhotonicDevice
+from repro.eval.montecarlo import RobustnessReport, evaluate_post_fab
+from repro.fab.process import FabricationProcess
+
+__all__ = ["YieldReport", "estimate_yield", "yield_curve"]
+
+
+@dataclass
+class YieldReport:
+    """Yield of one design against one spec.
+
+    Attributes
+    ----------
+    spec:
+        FoM threshold a die must meet.
+    lower_is_better:
+        Whether passing means ``fom <= spec`` (e.g. isolator contrast).
+    n_pass / n_total:
+        Die counts.
+    """
+
+    spec: float
+    lower_is_better: bool
+    n_pass: int
+    n_total: int
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.n_pass / self.n_total
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI on the yield fraction."""
+        p = self.yield_fraction
+        half = z * np.sqrt(max(p * (1 - p), 1e-12) / self.n_total)
+        return (max(0.0, p - half), min(1.0, p + half))
+
+
+def _passes(foms: np.ndarray, spec: float, lower_is_better: bool) -> np.ndarray:
+    return foms <= spec if lower_is_better else foms >= spec
+
+
+def estimate_yield(
+    device: PhotonicDevice,
+    process: FabricationProcess,
+    pattern: np.ndarray,
+    spec: float,
+    n_samples: int = 50,
+    seed: int = 2024,
+    report: RobustnessReport | None = None,
+) -> YieldReport:
+    """Monte-Carlo yield of a design against a FoM spec.
+
+    Parameters
+    ----------
+    spec:
+        Passing threshold: dies pass when the FoM is at least (or, for
+        lower-is-better devices, at most) this value.
+    report:
+        Reuse an existing Monte-Carlo report instead of re-simulating.
+    """
+    if report is None:
+        report = evaluate_post_fab(
+            device, process, pattern, n_samples=n_samples, seed=seed
+        )
+    mask = _passes(report.foms, spec, device.fom_lower_is_better)
+    return YieldReport(
+        spec=spec,
+        lower_is_better=device.fom_lower_is_better,
+        n_pass=int(mask.sum()),
+        n_total=int(report.foms.size),
+    )
+
+
+def yield_curve(
+    device: PhotonicDevice,
+    process: FabricationProcess,
+    pattern: np.ndarray,
+    specs: np.ndarray | list[float],
+    n_samples: int = 50,
+    seed: int = 2024,
+) -> list[YieldReport]:
+    """Yield as a function of the spec — one shared Monte-Carlo draw.
+
+    Sharing samples across specs makes the curve monotone by
+    construction and costs one simulation batch total.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ValueError("need at least one spec")
+    report = evaluate_post_fab(
+        device, process, pattern, n_samples=n_samples, seed=seed
+    )
+    return [
+        estimate_yield(
+            device, process, pattern, spec, report=report
+        )
+        for spec in specs
+    ]

@@ -1,0 +1,46 @@
+"""Differentiable fabrication and operating-condition models.
+
+Implements the compound mapping of the paper's Eq. (1):
+
+    rho  --L_l-->  rho_bar  --E_eta-->  rho_tilde  --T_t-->  rho_tilde'
+
+* ``L_l`` — :mod:`repro.fab.litho`: partially coherent (Abbe / sum of
+  coherent systems) aerial-image formation with defocus and dose corners.
+* ``E_eta`` — :mod:`repro.fab.etch`: threshold binarization with smoothed
+  or straight-through gradients; the threshold may be a spatially varying
+  random field.
+* ``eta`` field — :mod:`repro.fab.eole`: expansion optimal linear
+  estimation (EOLE) of a Gaussian random field (Schevenels et al. [15]).
+* ``T_t`` — :mod:`repro.fab.temperature`: silicon thermo-optic
+  permittivity drift (Komma et al. [10]).
+
+:class:`repro.fab.process.FabricationProcess` composes them into the
+differentiable chain used inside the optimization loop.
+"""
+
+from repro.fab.litho import AbbeLithography, GaussianLithography, LithoCorner
+from repro.fab.etch import tanh_projection, ste_binarize, hard_binarize
+from repro.fab.eole import EOLEField
+from repro.fab.temperature import (
+    eps_si_of_temperature,
+    alpha_of_temperature,
+    alpha_tensor,
+)
+from repro.fab.corners import VariationCorner, CornerSet
+from repro.fab.process import FabricationProcess
+
+__all__ = [
+    "AbbeLithography",
+    "GaussianLithography",
+    "LithoCorner",
+    "tanh_projection",
+    "ste_binarize",
+    "hard_binarize",
+    "EOLEField",
+    "eps_si_of_temperature",
+    "alpha_of_temperature",
+    "alpha_tensor",
+    "VariationCorner",
+    "CornerSet",
+    "FabricationProcess",
+]

@@ -1,0 +1,197 @@
+"""Variation-corner descriptions and standard corner sets.
+
+A :class:`VariationCorner` pins every random fabrication/operation variable
+to one value: the lithography corner (defocus/dose), the operating
+temperature, a global etch-threshold shift, and optionally a full EOLE
+coefficient vector for the spatially varying etch field.
+
+:class:`CornerSet` provides the constructors the paper's sampling study
+(Fig. 6a) compares: nominal-only, single-sided axial, double-sided axial,
+exhaustive corner sweeping, and random sampling.  The *worst-case* corner
+is not a static object — it is found by gradient ascent at optimization
+time (see :mod:`repro.core.sampling`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.fab.litho import LITHO_CORNER_NAMES
+
+__all__ = ["VariationCorner", "CornerSet"]
+
+
+@dataclass
+class VariationCorner:
+    """One fully pinned variation condition.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (appears in logs and reports).
+    litho:
+        Lithography corner name: ``"min"``, ``"nominal"`` or ``"max"``.
+    temperature_k:
+        Operating temperature in kelvin.
+    eta_shift:
+        Global etch-threshold offset (the "simpler etching model" axis).
+    xi:
+        EOLE coefficients of the spatially varying etch field, or ``None``
+        for a spatially uniform threshold.
+    weight:
+        Relative weight in expectation-style aggregations.
+    """
+
+    name: str
+    litho: str = "nominal"
+    temperature_k: float = 300.0
+    eta_shift: float = 0.0
+    xi: np.ndarray | None = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.litho not in LITHO_CORNER_NAMES:
+            raise ValueError(
+                f"litho must be one of {LITHO_CORNER_NAMES}, got {self.litho!r}"
+            )
+        if self.temperature_k <= 0:
+            raise ValueError("temperature must be positive")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+        if self.xi is not None:
+            self.xi = np.asarray(self.xi, dtype=np.float64)
+
+    def is_nominal(self) -> bool:
+        """True if every axis sits at its nominal value."""
+        xi_zero = self.xi is None or not np.any(self.xi)
+        return (
+            self.litho == "nominal"
+            and self.temperature_k == 300.0
+            and self.eta_shift == 0.0
+            and xi_zero
+        )
+
+
+@dataclass
+class CornerSet:
+    """An ordered collection of variation corners."""
+
+    corners: list[VariationCorner] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[VariationCorner]:
+        return iter(self.corners)
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(c.weight for c in self.corners)
+
+    # ------------------------------------------------------------------ #
+    # Constructors matching the paper's Fig. 6(a) strategies             #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def nominal_only(cls) -> "CornerSet":
+        """Just the nominal design point (no variation awareness)."""
+        return cls([VariationCorner("nominal")])
+
+    @classmethod
+    def axial(
+        cls,
+        t_delta: float = 30.0,
+        eta_delta: float = 0.03,
+        include_nominal: bool = True,
+        nominal_weight: float = 1.0,
+    ) -> "CornerSet":
+        """Double-sided axial corners: nominal + 6 (O(2N), paper default).
+
+        One min and one max corner per variation axis (lithography,
+        temperature, global etch threshold), all other axes nominal.
+        ``nominal_weight`` up-weights the nominal corner in the
+        expectation — nominal conditions are the distribution's mode, so
+        weighting them above the (rare) corners is the discrete analogue
+        of integrating against the variation density.
+        """
+        corners = []
+        if include_nominal:
+            corners.append(VariationCorner("nominal", weight=nominal_weight))
+        corners.extend(
+            [
+                VariationCorner("litho-min", litho="min"),
+                VariationCorner("litho-max", litho="max"),
+                VariationCorner("temp-min", temperature_k=300.0 - t_delta),
+                VariationCorner("temp-max", temperature_k=300.0 + t_delta),
+                VariationCorner("eta-min", eta_shift=-eta_delta),
+                VariationCorner("eta-max", eta_shift=+eta_delta),
+            ]
+        )
+        return cls(corners)
+
+    @classmethod
+    def single_sided_axial(
+        cls, t_delta: float = 30.0, eta_delta: float = 0.03
+    ) -> "CornerSet":
+        """One-sided axial corners (O(N)); poor by asymmetry (Fig. 6a)."""
+        return cls(
+            [
+                VariationCorner("nominal"),
+                VariationCorner("litho-max", litho="max"),
+                VariationCorner("temp-max", temperature_k=300.0 + t_delta),
+                VariationCorner("eta-max", eta_shift=+eta_delta),
+            ]
+        )
+
+    @classmethod
+    def exhaustive(
+        cls, t_delta: float = 30.0, eta_delta: float = 0.03
+    ) -> "CornerSet":
+        """Full 3x3x3 corner sweep (O(3^N)) — the unscalable baseline."""
+        corners = []
+        for litho in LITHO_CORNER_NAMES:
+            for dt in (-t_delta, 0.0, +t_delta):
+                for de in (-eta_delta, 0.0, +eta_delta):
+                    corners.append(
+                        VariationCorner(
+                            f"L={litho},dT={dt:+.0f},de={de:+.3f}",
+                            litho=litho,
+                            temperature_k=300.0 + dt,
+                            eta_shift=de,
+                        )
+                    )
+        return cls(corners)
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        n: int,
+        t_delta: float = 30.0,
+        eta_std: float = 0.03,
+        n_xi: int = 0,
+    ) -> "CornerSet":
+        """Monte-Carlo corners: uniform litho/temperature, Gaussian eta.
+
+        Used both by the "Axial+random" strategy of Fig. 6(a) and by the
+        post-fabrication evaluation harness.
+        """
+        if n < 1:
+            raise ValueError("need at least one random corner")
+        corners = []
+        for i in range(n):
+            litho = LITHO_CORNER_NAMES[int(rng.integers(0, 3))]
+            t = 300.0 + rng.uniform(-t_delta, t_delta)
+            xi = rng.standard_normal(n_xi) if n_xi > 0 else None
+            corners.append(
+                VariationCorner(
+                    f"random-{i}",
+                    litho=litho,
+                    temperature_k=float(t),
+                    eta_shift=0.0 if n_xi > 0 else float(rng.normal(0, eta_std)),
+                    xi=xi,
+                )
+            )
+        return cls(corners)

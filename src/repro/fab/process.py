@@ -1,0 +1,220 @@
+"""The composed differentiable fabrication chain of Eq. (1).
+
+:class:`FabricationProcess` owns one lithography model per corner, one
+etch model, one EOLE threshold field and the temperature map, and applies
+
+    rho_tilde' = (T_t o E_eta o L_l)(rho)
+
+to a design-region pattern.  Two call paths:
+
+* :meth:`apply` — autodiff path used inside the optimization loop
+  (gradients flow to the pattern, and optionally to temperature / EOLE
+  coefficients for worst-case search).
+* :meth:`apply_array` — plain numpy path used by the Monte-Carlo
+  evaluation harness (faster, no tape).
+
+The design tile is padded with the *context pattern* (the waveguides
+surrounding the design region) before imaging so that diffraction at the
+region boundary sees the true neighbourhood rather than a hard dark edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff import functional as F
+from repro.autodiff.ops import as_tensor
+from repro.fab.corners import VariationCorner
+from repro.fab.etch import hard_binarize, ste_binarize, tanh_projection
+from repro.fab.eole import EOLEField
+from repro.fab.litho import AbbeLithography, default_litho_corners
+from repro.fab.temperature import alpha_of_temperature, alpha_tensor
+
+__all__ = ["FabricationProcess"]
+
+
+class FabricationProcess:
+    """Differentiable litho + etch + temperature chain for one design grid.
+
+    Parameters
+    ----------
+    design_shape:
+        Shape of the design-region pattern ``(Nx, Ny)`` in cells.
+    dl:
+        Cell pitch in um.
+    context:
+        Binary occupancy of the surroundings on the padded tile, shape
+        ``(Nx + 2 pad, Ny + 2 pad)``; must be zero inside the central
+        design window.  ``None`` means empty surroundings.
+    pad:
+        Context padding in cells (must exceed the litho kernel reach).
+    na / sigma / litho_wavelength_um / defocus_um / dose_delta:
+        Imaging-system parameters (see :class:`AbbeLithography`).
+    eta0:
+        Nominal etch threshold.
+    etch_beta:
+        Sharpness of the etch gradient surrogate.
+    use_ste:
+        True: hard-binary forward + straight-through gradient (paper's
+        choice).  False: smooth tanh projection throughout.
+    eole_std / eole_correlation_um / eole_points:
+        Etch random-field parameters (``eole_std = 0`` disables the field).
+    """
+
+    def __init__(
+        self,
+        design_shape: tuple[int, int],
+        dl: float,
+        context: np.ndarray | None = None,
+        pad: int = 16,
+        na: float = 0.65,
+        sigma: float = 0.5,
+        litho_wavelength_um: float = 0.193,
+        defocus_um: float = 0.12,
+        dose_delta: float = 0.08,
+        eta0: float = 0.5,
+        etch_beta: float = 20.0,
+        use_ste: bool = True,
+        eole_std: float = 0.03,
+        eole_correlation_um: float = 1.0,
+        eole_points: int = 3,
+    ):
+        if pad < 4:
+            raise ValueError("context pad of at least 4 cells is required")
+        self.design_shape = tuple(design_shape)
+        self.dl = float(dl)
+        self.pad = int(pad)
+        self.eta0 = float(eta0)
+        self.etch_beta = float(etch_beta)
+        self.use_ste = bool(use_ste)
+
+        nx, ny = self.design_shape
+        tile_shape = (nx + 2 * self.pad, ny + 2 * self.pad)
+        self.tile_shape = tile_shape
+        if context is None:
+            context = np.zeros(tile_shape)
+        context = np.asarray(context, dtype=np.float64)
+        if context.shape != tile_shape:
+            raise ValueError(
+                f"context shape {context.shape} != padded tile {tile_shape}"
+            )
+        inner = context[self.pad : self.pad + nx, self.pad : self.pad + ny]
+        if np.any(inner != 0):
+            raise ValueError("context must be zero inside the design window")
+        self.context = context
+
+        corner_specs = default_litho_corners(defocus_um, dose_delta)
+        self._litho_models = {
+            name: AbbeLithography(
+                tile_shape,
+                dl,
+                wavelength_um=litho_wavelength_um,
+                na=na,
+                sigma=sigma,
+                defocus_um=spec.defocus_um,
+                dose=spec.dose,
+            )
+            for name, spec in corner_specs.items()
+        }
+        self.eole = EOLEField(
+            self.design_shape,
+            dl,
+            std=eole_std,
+            correlation_length_um=eole_correlation_um,
+            n_points_per_axis=eole_points,
+        )
+
+    # ------------------------------------------------------------------ #
+    def litho_model(self, corner_name: str = "nominal") -> AbbeLithography:
+        """The imaging model of one lithography corner."""
+        try:
+            return self._litho_models[corner_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown litho corner {corner_name!r}; "
+                f"have {sorted(self._litho_models)}"
+            ) from None
+
+    def min_printable_period_um(self) -> float:
+        """Resolution limit of the nominal imaging system."""
+        return self._litho_models["nominal"].min_printable_period_um()
+
+    def _crop(self, tile):
+        nx, ny = self.design_shape
+        return tile[self.pad : self.pad + nx, self.pad : self.pad + ny]
+
+    # ------------------------------------------------------------------ #
+    # Autodiff path                                                      #
+    # ------------------------------------------------------------------ #
+    def post_litho(self, rho: Tensor, litho: str = "nominal") -> Tensor:
+        """Differentiable aerial image of the design pattern (cropped)."""
+        rho = as_tensor(rho)
+        if tuple(rho.shape) != self.design_shape:
+            raise ValueError(
+                f"pattern shape {rho.shape} != design {self.design_shape}"
+            )
+        tile = F.pad_constant(rho, self.pad) + self.context
+        image = self.litho_model(litho).image(tile)
+        return self._crop(image)
+
+    def apply(
+        self,
+        rho: Tensor,
+        corner: VariationCorner,
+        temperature=None,
+        xi=None,
+    ) -> Tensor:
+        """Full chain ``rho -> rho_tilde'`` for one corner (differentiable).
+
+        Parameters
+        ----------
+        rho:
+            Design pattern in [0, 1], design-region shape.
+        corner:
+            Variation corner pinning litho / temperature / threshold.
+        temperature, xi:
+            Optional *Tensor* overrides of the corner's temperature and
+            EOLE coefficients — pass tensors here to differentiate the
+            objective with respect to the variation variables themselves
+            (worst-case corner search).
+        """
+        image = self.post_litho(rho, corner.litho)
+
+        eta = self.eta0 + corner.eta_shift
+        xi_value = xi if xi is not None else corner.xi
+        if xi_value is not None:
+            eta = self.eole.field(xi_value) + eta
+
+        if self.use_ste:
+            pattern = ste_binarize(image, eta, beta=self.etch_beta)
+        else:
+            pattern = tanh_projection(image, eta, beta=self.etch_beta)
+
+        t_value = temperature if temperature is not None else corner.temperature_k
+        alpha = alpha_tensor(t_value)
+        return pattern * alpha
+
+    # ------------------------------------------------------------------ #
+    # Plain numpy path (evaluation)                                      #
+    # ------------------------------------------------------------------ #
+    def post_litho_array(self, rho: np.ndarray, litho: str = "nominal") -> np.ndarray:
+        """Aerial image without autodiff."""
+        rho = np.asarray(rho, dtype=np.float64)
+        if rho.shape != self.design_shape:
+            raise ValueError(
+                f"pattern shape {rho.shape} != design {self.design_shape}"
+            )
+        tile = self.context.copy()
+        nx, ny = self.design_shape
+        tile[self.pad : self.pad + nx, self.pad : self.pad + ny] = rho
+        return self._crop(self.litho_model(litho).image_array(tile))
+
+    def apply_array(self, rho: np.ndarray, corner: VariationCorner) -> np.ndarray:
+        """Full chain without autodiff; forward pass always hard-binary."""
+        image = self.post_litho_array(rho, corner.litho)
+        eta = self.eta0 + corner.eta_shift
+        if corner.xi is not None:
+            eta = eta + self.eole.field_array(corner.xi)
+        pattern = hard_binarize(image, eta)
+        return pattern * alpha_of_temperature(corner.temperature_k)

@@ -1,0 +1,72 @@
+"""Operating-temperature permittivity drift (paper Sec. II-A, ref. [10]).
+
+Silicon's refractive index drifts with temperature:
+
+    eps_Si(t) = (3.48 + 1.8e-4 (t - 300))^2 .
+
+The paper folds this into the design chain as the map ``T_t`` that scales
+the binary pattern to ``{0, alpha_t}`` so that
+
+    eps = eps_v + (eps_s - eps_v) * rho_tilde'
+
+reproduces the drifted solid permittivity when ``rho_tilde' = alpha_t``.
+"""
+
+from __future__ import annotations
+
+from repro.autodiff import Tensor
+from repro.autodiff.ops import as_tensor
+from repro.utils.constants import (
+    EPS_VOID,
+    SI_BASE_INDEX,
+    SI_THERMO_OPTIC_COEFF,
+    TEMPERATURE_NOMINAL_K,
+)
+
+__all__ = ["eps_si_of_temperature", "alpha_of_temperature", "alpha_tensor"]
+
+
+def eps_si_of_temperature(temperature_k: float) -> float:
+    """Silicon relative permittivity at the given temperature (kelvin)."""
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    n = SI_BASE_INDEX + SI_THERMO_OPTIC_COEFF * (
+        temperature_k - TEMPERATURE_NOMINAL_K
+    )
+    return n**2
+
+
+def alpha_of_temperature(
+    temperature_k: float, eps_solid_nominal: float | None = None
+) -> float:
+    """Pattern scale ``alpha_t`` mapping ``{0,1}`` to ``{0, alpha_t}``.
+
+    Chosen so that a solid pixel reproduces the drifted silicon
+    permittivity under ``eps = eps_v + (eps_s_nominal - eps_v) * alpha_t``.
+    """
+    eps_solid_nominal = (
+        eps_si_of_temperature(TEMPERATURE_NOMINAL_K)
+        if eps_solid_nominal is None
+        else eps_solid_nominal
+    )
+    return (eps_si_of_temperature(temperature_k) - EPS_VOID) / (
+        eps_solid_nominal - EPS_VOID
+    )
+
+
+def alpha_tensor(temperature_k, eps_solid_nominal: float | None = None) -> Tensor:
+    """Differentiable ``alpha_t`` for worst-case temperature search.
+
+    Accepts a scalar :class:`~repro.autodiff.Tensor` (or float) temperature
+    and returns ``alpha_t`` with gradients intact — this is what the
+    one-step gradient-ascent worst-corner sampler differentiates.
+    """
+    t = as_tensor(temperature_k)
+    eps_solid_nominal = (
+        eps_si_of_temperature(TEMPERATURE_NOMINAL_K)
+        if eps_solid_nominal is None
+        else eps_solid_nominal
+    )
+    n = SI_BASE_INDEX + SI_THERMO_OPTIC_COEFF * (t - TEMPERATURE_NOMINAL_K)
+    eps_t = n * n
+    return (eps_t - EPS_VOID) * (1.0 / (eps_solid_nominal - EPS_VOID))

@@ -1,0 +1,272 @@
+"""Adjoint gradients of port-power figures of merit.
+
+This module packages the paper's central mechanism (Sec. I, ref. [8]): the
+gradient of *any* differentiable function of the modal port powers with
+respect to *every* permittivity cell costs one forward solve plus one
+adjoint (transposed) solve.
+
+Derivation sketch
+-----------------
+With ``A(eps) e = b``, modal amplitudes ``c_j = w_j . e`` (real ``w_j``),
+and a real figure of merit ``F({c_j})``:
+
+    dF = sum_j (dF/dc_j) w_j . de + c.c.          (Wirtinger calculus)
+    de = -A^{-1} dA e                             (differentiate A e = b)
+
+so with the adjoint solution ``A^T lam = v``, ``v = sum_j (dF/dc_j) w_j``:
+
+    dF/deps_i = -2 omega^2 Re(lam_i e_i),
+
+because ``dA/deps_i = omega^2`` on the diagonal.  For normalized powers
+``p_j = gamma_j |c_j|^2 / P_in`` the Wirtinger factor is
+``dp_j/dc_j = gamma_j conj(c_j) / P_in``.
+
+The mode profiles and the calibration power ``P_in`` are computed on
+cross-sections *outside* the design region, so they are constants of the
+design and do not contribute gradient terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.fdfd.grid import SimGrid
+from repro.fdfd.modes import SlabModeSolver, WaveguideMode
+from repro.fdfd.monitors import ModeOverlapMonitor
+from repro.fdfd.pml import PMLSpec
+from repro.fdfd.solver import FdfdFields, HelmholtzSolver
+from repro.fdfd.sources import ModeLineSource
+
+__all__ = ["PortSpec", "PortPowerProblem", "PortPowerSolution"]
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Geometry and mode selection of one optical port.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier (used as the key of returned power dicts).
+    axis:
+        Normal direction of the port plane: ``"x"`` (a column, guiding
+        along x) or ``"y"`` (a row, guiding along y).
+    plane_um:
+        Position of the port plane along its normal axis, in um.
+    center_um / width_um:
+        Centre and width of the transverse mode window, in um.
+    mode_order:
+        1-based guided-mode number to project on (1 = fundamental; the
+        isolator's "TM3" output is ``mode_order=3``).
+    subtract_incident:
+        If True, the calibration-run incident field is subtracted before
+        the overlap — used for reflection monitors co-located with the
+        source.
+    """
+
+    name: str
+    axis: str
+    plane_um: float
+    center_um: float
+    width_um: float
+    mode_order: int = 1
+    subtract_incident: bool = False
+
+    def __post_init__(self):
+        if self.axis not in ("x", "y"):
+            raise ValueError(f"axis must be 'x' or 'y', got {self.axis!r}")
+        if self.width_um <= 0:
+            raise ValueError("port width must be positive")
+        if self.mode_order < 1:
+            raise ValueError("mode_order is 1-based and must be >= 1")
+
+
+@dataclass
+class PortPowerSolution:
+    """Forward-solve results kept for the adjoint pass."""
+
+    solver: HelmholtzSolver
+    fields: FdfdFields
+    amplitudes: dict[str, complex]
+    raw_powers: dict[str, float]
+    monitors: dict[str, ModeOverlapMonitor] = field(repr=False, default_factory=dict)
+
+    def normalized_powers(self, input_power: float) -> dict[str, float]:
+        """Port powers divided by the calibration input power."""
+        if input_power <= 0:
+            raise ValueError(f"input_power must be positive, got {input_power}")
+        return {k: v / input_power for k, v in self.raw_powers.items()}
+
+
+class PortPowerProblem:
+    """One device topology + port set, solvable for powers and gradients.
+
+    Parameters
+    ----------
+    grid:
+        Simulation window.
+    omega:
+        Angular frequency (natural units).
+    ports:
+        Monitor ports.  Their order defines the ordering of power vectors.
+    source_port:
+        A :class:`PortSpec` describing where the excitation mode launches
+        (it need not be in ``ports``).
+    pml:
+        PML specification.
+    """
+
+    def __init__(
+        self,
+        grid: SimGrid,
+        omega: float,
+        ports: Sequence[PortSpec],
+        source_port: PortSpec,
+        pml: PMLSpec | None = None,
+    ):
+        names = [p.name for p in ports]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate port names in {names}")
+        self.grid = grid
+        self.omega = float(omega)
+        self.ports = tuple(ports)
+        self.source_port = source_port
+        self.pml = pml or PMLSpec()
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers                                                    #
+    # ------------------------------------------------------------------ #
+    def port_plane_and_span(self, port: PortSpec) -> tuple[int, slice]:
+        """Grid indices of a port: (plane index, transverse cell slice)."""
+        g = self.grid
+        lo = port.center_um - port.width_um / 2.0
+        hi = port.center_um + port.width_um / 2.0
+        if port.axis == "x":
+            plane = g.index_of_x(port.plane_um)
+            span = g.slice_of_y_range(lo, hi)
+        else:
+            plane = g.index_of_y(port.plane_um)
+            span = g.slice_of_x_range(lo, hi)
+        return plane, span
+
+    def mode_for_port(self, port: PortSpec, eps_r: np.ndarray) -> WaveguideMode:
+        """Solve the slab mode of the given order on the port cross-section."""
+        plane, span = self.port_plane_and_span(port)
+        if port.axis == "x":
+            eps_line = np.asarray(eps_r)[plane, span]
+        else:
+            eps_line = np.asarray(eps_r)[span, plane]
+        return SlabModeSolver(eps_line, self.grid.dl, self.omega).mode(
+            port.mode_order
+        )
+
+    def monitor_for_port(
+        self, port: PortSpec, eps_r: np.ndarray
+    ) -> ModeOverlapMonitor:
+        plane, span = self.port_plane_and_span(port)
+        mode = self.mode_for_port(port, eps_r)
+        return ModeOverlapMonitor(self.grid, port.axis, plane, span, mode)
+
+    def source_current(self, eps_r: np.ndarray, amplitude: complex = 1.0) -> np.ndarray:
+        """Mode-shaped current sheet at the source port."""
+        plane, span = self.port_plane_and_span(self.source_port)
+        mode = self.mode_for_port(self.source_port, eps_r)
+        return ModeLineSource(
+            self.grid, self.source_port.axis, plane, span, mode
+        ).current(amplitude)
+
+    # ------------------------------------------------------------------ #
+    # Forward                                                             #
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        eps_r: np.ndarray,
+        incident_ez: np.ndarray | None = None,
+    ) -> PortPowerSolution:
+        """Forward solve; returns powers at every port.
+
+        Parameters
+        ----------
+        eps_r:
+            Full permittivity map (real).
+        incident_ez:
+            Calibration-run field, required if any port has
+            ``subtract_incident=True``.
+        """
+        solver = HelmholtzSolver(self.grid, eps_r, self.omega, self.pml)
+        fields = solver.solve(self.source_current(eps_r))
+
+        amplitudes: dict[str, complex] = {}
+        raw_powers: dict[str, float] = {}
+        monitors: dict[str, ModeOverlapMonitor] = {}
+        for port in self.ports:
+            monitor = self.monitor_for_port(port, eps_r)
+            ez = fields.ez
+            if port.subtract_incident:
+                if incident_ez is None:
+                    raise ValueError(
+                        f"port {port.name!r} subtracts the incident field "
+                        "but no incident_ez was provided"
+                    )
+                ez = ez - incident_ez
+            a = monitor.amplitude(ez)
+            amplitudes[port.name] = a
+            raw_powers[port.name] = monitor.mode.power_of_amplitude(a)
+            monitors[port.name] = monitor
+        return PortPowerSolution(
+            solver=solver,
+            fields=fields,
+            amplitudes=amplitudes,
+            raw_powers=raw_powers,
+            monitors=monitors,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Adjoint                                                             #
+    # ------------------------------------------------------------------ #
+    def grad_eps(
+        self,
+        solution: PortPowerSolution,
+        power_cotangents: Mapping[str, float],
+        input_power: float = 1.0,
+    ) -> np.ndarray:
+        """Gradient of ``sum_j gbar_j * p_j`` with respect to ``eps_r``.
+
+        Parameters
+        ----------
+        solution:
+            Result of :meth:`solve` on the same permittivity.
+        power_cotangents:
+            ``gbar_j`` per port name (missing ports contribute zero).
+        input_power:
+            Calibration power normalizing ``p_j = raw_j / P_in``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Real gradient of shape ``grid.shape``.  Valid wherever the
+            permittivity does not feed the port mode solves (i.e. in the
+            design region, which is disjoint from the port planes).
+        """
+        v = np.zeros(self.grid.n_cells, dtype=np.complex128)
+        for port in self.ports:
+            gbar = float(power_cotangents.get(port.name, 0.0))
+            if gbar == 0.0:
+                continue
+            monitor = solution.monitors[port.name]
+            c = solution.amplitudes[port.name]
+            # dp/dc (Wirtinger) = gamma * conj(c) / P_in
+            v += (
+                gbar
+                * monitor.power_factor
+                * np.conj(c)
+                / input_power
+                * monitor.weight_vector()
+            )
+        lam = solution.solver.solve_transposed(v)
+        ez_flat = solution.fields.ez.ravel()
+        grad = -2.0 * self.omega**2 * np.real(lam * ez_flat)
+        return grad.reshape(self.grid.shape)

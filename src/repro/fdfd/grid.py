@@ -1,0 +1,111 @@
+"""Uniform 2-D simulation grid.
+
+Axis convention: index ``[ix, iy]`` with ``x`` the nominal propagation axis
+(horizontal, increasing to the "east") and ``y`` transverse (increasing to
+the "north").  All coordinates are cell-centred and in micrometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimGrid"]
+
+
+@dataclass(frozen=True)
+class SimGrid:
+    """Geometry of the FDFD computational window.
+
+    Parameters
+    ----------
+    shape:
+        ``(Nx, Ny)`` number of cells along x and y.
+    dl:
+        Cell pitch in micrometres (same in both directions).
+    npml:
+        PML thickness in cells, applied on all four sides.
+    """
+
+    shape: tuple[int, int]
+    dl: float
+    npml: int = 10
+
+    def __post_init__(self):
+        nx, ny = self.shape
+        if nx <= 0 or ny <= 0:
+            raise ValueError(f"grid shape must be positive, got {self.shape}")
+        if self.dl <= 0:
+            raise ValueError(f"dl must be positive, got {self.dl}")
+        if self.npml < 0:
+            raise ValueError(f"npml must be >= 0, got {self.npml}")
+        if 2 * self.npml >= min(nx, ny):
+            raise ValueError(
+                f"PML ({self.npml} cells per side) swallows the whole "
+                f"{self.shape} grid"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nx(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ny(self) -> int:
+        return self.shape[1]
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def extent_um(self) -> tuple[float, float]:
+        """Physical size ``(Lx, Ly)`` of the window in um."""
+        return (self.nx * self.dl, self.ny * self.dl)
+
+    # ------------------------------------------------------------------ #
+    def x_coords(self) -> np.ndarray:
+        """Cell-centre x coordinates (um), origin at the window corner."""
+        return (np.arange(self.nx) + 0.5) * self.dl
+
+    def y_coords(self) -> np.ndarray:
+        """Cell-centre y coordinates (um)."""
+        return (np.arange(self.ny) + 0.5) * self.dl
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(X, Y)`` coordinate arrays of shape ``(Nx, Ny)``."""
+        return np.meshgrid(self.x_coords(), self.y_coords(), indexing="ij")
+
+    def index_of_x(self, x_um: float) -> int:
+        """Column index whose centre is closest to ``x_um`` (clamped)."""
+        idx = int(round(x_um / self.dl - 0.5))
+        return int(np.clip(idx, 0, self.nx - 1))
+
+    def index_of_y(self, y_um: float) -> int:
+        """Row index whose centre is closest to ``y_um`` (clamped)."""
+        idx = int(round(y_um / self.dl - 0.5))
+        return int(np.clip(idx, 0, self.ny - 1))
+
+    def slice_of_x_range(self, x_lo_um: float, x_hi_um: float) -> slice:
+        """Half-open column slice covering ``[x_lo_um, x_hi_um)``."""
+        if x_hi_um <= x_lo_um:
+            raise ValueError("empty x range")
+        lo = self.index_of_x(x_lo_um)
+        hi = self.index_of_x(x_hi_um - 0.5 * self.dl) + 1
+        return slice(lo, hi)
+
+    def slice_of_y_range(self, y_lo_um: float, y_hi_um: float) -> slice:
+        """Half-open row slice covering ``[y_lo_um, y_hi_um)``."""
+        if y_hi_um <= y_lo_um:
+            raise ValueError("empty y range")
+        lo = self.index_of_y(y_lo_um)
+        hi = self.index_of_y(y_hi_um - 0.5 * self.dl) + 1
+        return slice(lo, hi)
+
+    def interior_mask(self) -> np.ndarray:
+        """Boolean mask of cells outside the PML."""
+        mask = np.zeros(self.shape, dtype=bool)
+        p = self.npml
+        mask[p : self.nx - p, p : self.ny - p] = True
+        return mask

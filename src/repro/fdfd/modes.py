@@ -1,0 +1,151 @@
+"""1-D slab waveguide eigenmode solver.
+
+Port sources and monitors need the transverse profiles of guided modes.
+For Ez polarization the transverse problem on a cross-section ``eps(y)`` is
+
+    (d2/dy2 + omega^2 eps(y)) phi(y) = beta^2 phi(y),
+
+a symmetric tridiagonal eigenproblem.  Guided modes are the eigenvectors
+with ``beta^2`` above the cladding light line; they are orthogonal and here
+normalized so that ``sum(phi^2) * dl = 1``, which makes the modal power of
+an amplitude-``a`` excitation equal ``|a|^2 beta / (2 omega)``.
+
+The paper's isolator benchmark converts "TM1" to "TM3"; in this package
+mode numbers are 1-based in that same convention (TM1 = fundamental,
+TM3 = two nodes... third mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import eigh_tridiagonal
+
+__all__ = ["WaveguideMode", "SlabModeSolver"]
+
+
+@dataclass(frozen=True)
+class WaveguideMode:
+    """A guided slab mode.
+
+    Attributes
+    ----------
+    beta:
+        Propagation constant (rad/um), positive.
+    profile:
+        Real transverse field ``phi`` sampled on the cross-section cells,
+        normalized to ``sum(phi^2) * dl = 1``.
+    order:
+        1-based mode number (1 = fundamental).
+    dl:
+        Sample pitch used for normalization.
+    omega:
+        Angular frequency the mode was solved at.
+    """
+
+    beta: float
+    profile: np.ndarray
+    order: int
+    dl: float
+    omega: float
+
+    @property
+    def n_eff(self) -> float:
+        """Effective index ``beta / omega``."""
+        return self.beta / self.omega
+
+    def power_of_amplitude(self, amplitude: complex) -> float:
+        """Power carried by a modal excitation of the given amplitude."""
+        return float(abs(amplitude) ** 2 * self.beta / (2.0 * self.omega))
+
+
+class SlabModeSolver:
+    """Solve the transverse eigenproblem on one permittivity cross-section.
+
+    Parameters
+    ----------
+    eps_line:
+        Relative permittivity along the cross-section (1-D array).
+    dl:
+        Sample pitch in um.
+    omega:
+        Angular frequency (natural units).
+    """
+
+    def __init__(self, eps_line: np.ndarray, dl: float, omega: float):
+        eps_line = np.asarray(eps_line, dtype=np.float64)
+        if eps_line.ndim != 1:
+            raise ValueError("eps_line must be 1-D")
+        if eps_line.size < 3:
+            raise ValueError("cross-section too short for mode solving")
+        self.eps_line = eps_line
+        self.dl = float(dl)
+        self.omega = float(omega)
+
+    def solve(self, n_modes: int = 4) -> list[WaveguideMode]:
+        """Return up to ``n_modes`` guided modes, fundamental first.
+
+        Modes are filtered to those truly guided (effective index above the
+        minimum cladding index at the section edges) — evanescent /
+        radiation solutions are discarded.
+        """
+        n = self.eps_line.size
+        inv_dl2 = 1.0 / self.dl**2
+        diag = -2.0 * inv_dl2 + self.omega**2 * self.eps_line
+        off = np.full(n - 1, inv_dl2)
+        # Largest eigenvalues = most-guided modes.
+        lo_index = max(0, n - n_modes - 4)
+        vals, vecs = eigh_tridiagonal(
+            diag, off, select="i", select_range=(lo_index, n - 1)
+        )
+        # eigh_tridiagonal returns ascending order; reverse for descending.
+        vals = vals[::-1]
+        vecs = vecs[:, ::-1]
+
+        # Cladding index at the window edges bounds guidance.
+        eps_clad = min(self.eps_line[0], self.eps_line[-1])
+        beta2_cutoff = self.omega**2 * eps_clad
+
+        modes: list[WaveguideMode] = []
+        for order0 in range(vals.size):
+            beta2 = vals[order0]
+            if beta2 <= beta2_cutoff or beta2 <= 0:
+                continue
+            beta = float(np.sqrt(beta2))
+            phi = vecs[:, order0].astype(np.float64)
+            # Normalize: sum(phi^2) dl = 1, sign convention: positive lobe
+            # at the profile's absolute maximum.
+            phi = phi / np.sqrt(np.sum(phi**2) * self.dl)
+            if phi[np.argmax(np.abs(phi))] < 0:
+                phi = -phi
+            modes.append(
+                WaveguideMode(
+                    beta=beta,
+                    profile=phi,
+                    order=len(modes) + 1,
+                    dl=self.dl,
+                    omega=self.omega,
+                )
+            )
+            if len(modes) >= n_modes:
+                break
+        return modes
+
+    def mode(self, order: int) -> WaveguideMode:
+        """Return the mode with the given 1-based order.
+
+        Raises
+        ------
+        ValueError
+            If the cross-section guides fewer than ``order`` modes.
+        """
+        if order < 1:
+            raise ValueError(f"mode order is 1-based, got {order}")
+        modes = self.solve(n_modes=order + 2)
+        if len(modes) < order:
+            raise ValueError(
+                f"cross-section guides only {len(modes)} mode(s); "
+                f"mode {order} was requested"
+            )
+        return modes[order - 1]

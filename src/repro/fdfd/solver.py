@@ -1,0 +1,136 @@
+"""Assembly and solution of the 2-D Helmholtz system.
+
+The discretized operator is
+
+    A = Dxb Dxf + Dyb Dyf + omega^2 diag(eps_r)
+
+(with the PML stretch folded into the difference operators), and the source
+vector for a current sheet ``Jz`` is ``b = -i omega Jz``.  One LU
+factorization serves both the forward solve and the transposed (adjoint)
+solve, which is the key runtime trick of adjoint inverse design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.fdfd.grid import SimGrid
+from repro.fdfd.operators import build_derivative_ops
+from repro.fdfd.pml import PMLSpec
+
+__all__ = ["HelmholtzSolver", "FdfdFields"]
+
+
+@dataclass
+class FdfdFields:
+    """Field solution bundle on the simulation grid.
+
+    Attributes
+    ----------
+    ez:
+        Out-of-plane electric field, shape ``(Nx, Ny)`` complex.
+    hx, hy:
+        In-plane magnetic fields derived from ``ez`` (same shape).
+    """
+
+    ez: np.ndarray
+    hx: np.ndarray
+    hy: np.ndarray
+
+
+class HelmholtzSolver:
+    """Factorized FDFD operator for one permittivity map.
+
+    Parameters
+    ----------
+    grid:
+        Simulation window geometry.
+    eps_r:
+        Relative permittivity, shape ``grid.shape``, real (lossless).
+    omega:
+        Angular frequency in natural units (``2 pi / lambda_um``).
+    pml:
+        PML ramp specification.
+
+    Notes
+    -----
+    Factorization cost dominates (~O(N^1.5) for 2-D grids with a good
+    ordering); subsequent solves are cheap triangular sweeps.  The adjoint
+    engine exploits ``solve_transposed`` so a gradient costs one extra
+    sweep, not one extra factorization.
+    """
+
+    def __init__(
+        self,
+        grid: SimGrid,
+        eps_r: np.ndarray,
+        omega: float,
+        pml: PMLSpec | None = None,
+    ):
+        eps_r = np.asarray(eps_r, dtype=np.float64)
+        if eps_r.shape != grid.shape:
+            raise ValueError(
+                f"eps_r shape {eps_r.shape} does not match grid {grid.shape}"
+            )
+        if omega <= 0:
+            raise ValueError(f"omega must be positive, got {omega}")
+        self.grid = grid
+        self.omega = float(omega)
+        self.eps_r = eps_r
+
+        ops = build_derivative_ops(grid, self.omega, pml)
+        laplacian = ops["dxb"] @ ops["dxf"] + ops["dyb"] @ ops["dyf"]
+        self._dxf = ops["dxf"]
+        self._dyf = ops["dyf"]
+        self.system_matrix = (
+            laplacian
+            + sp.diags(self.omega**2 * eps_r.ravel(), format="csr")
+        ).tocsc()
+        self._lu = spla.splu(self.system_matrix)
+
+    # ------------------------------------------------------------------ #
+    def solve(self, source_jz: np.ndarray) -> FdfdFields:
+        """Solve for the fields of a current distribution ``Jz``.
+
+        Parameters
+        ----------
+        source_jz:
+            Complex current sheet, shape ``grid.shape``.
+
+        Returns
+        -------
+        FdfdFields
+            ``ez`` plus derived ``hx = d_y ez / (i omega)`` and
+            ``hy = -d_x ez / (i omega)``.
+        """
+        source_jz = np.asarray(source_jz)
+        if source_jz.shape != self.grid.shape:
+            raise ValueError(
+                f"source shape {source_jz.shape} != grid {self.grid.shape}"
+            )
+        b = (-1j * self.omega) * source_jz.ravel().astype(np.complex128)
+        ez_flat = self._lu.solve(b)
+        ez = ez_flat.reshape(self.grid.shape)
+        # The SC-PML stretch ``s = 1 - i sigma / omega`` absorbs outgoing
+        # waves under the e^{+i omega t} engineering time convention, whose
+        # curl relations give Hx = -d_y Ez / (i omega mu), Hy = +d_x Ez /
+        # (i omega mu) in natural units.
+        hx = -(self._dyf @ ez_flat).reshape(self.grid.shape) / (1j * self.omega)
+        hy = (self._dxf @ ez_flat).reshape(self.grid.shape) / (1j * self.omega)
+        return FdfdFields(ez=ez, hx=hx, hy=hy)
+
+    def solve_raw(self, rhs_flat: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for an arbitrary flattened right-hand side."""
+        return self._lu.solve(np.asarray(rhs_flat, dtype=np.complex128))
+
+    def solve_transposed(self, rhs_flat: np.ndarray) -> np.ndarray:
+        """Solve ``A^T x = rhs`` — the adjoint system.
+
+        Uses the already-computed LU factors (``L U = P A Q`` implies
+        ``A^T = Q U^T L^T P``), so no second factorization is needed.
+        """
+        return self._lu.solve(np.asarray(rhs_flat, dtype=np.complex128), trans="T")

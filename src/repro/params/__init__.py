@@ -1,0 +1,39 @@
+"""Topology parameterizations mapping latent variables to patterns.
+
+The paper's map ``P : theta -> rho`` comes in two flavours it benchmarks
+against each other:
+
+* :class:`LevelSetParameterization` (``LS``) — a coarse grid of level-set
+  knot values, bilinearly interpolated and thresholded at zero (Wang et
+  al. [21]); BOSON-1's default.
+* :class:`DensityParameterization` (``Density``) — per-pixel densities with
+  optional Gaussian filtering (the blur-based MFS control of prior art)
+  and tanh projection.
+
+:mod:`repro.params.initializers` provides the *light-concentrated
+initialization* of Sec. III-D3: seeding the design with simple waveguide
+paths that connect the ports so early gradients are informative.
+"""
+
+from repro.params.levelset import LevelSetParameterization
+from repro.params.density import DensityParameterization
+from repro.params.transforms import heaviside_ste, smooth_heaviside
+from repro.params.initializers import (
+    PathSegment,
+    rasterize_segments,
+    signed_distance,
+    theta_from_pattern,
+    random_theta,
+)
+
+__all__ = [
+    "LevelSetParameterization",
+    "DensityParameterization",
+    "heaviside_ste",
+    "smooth_heaviside",
+    "PathSegment",
+    "rasterize_segments",
+    "signed_distance",
+    "theta_from_pattern",
+    "random_theta",
+]

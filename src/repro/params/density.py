@@ -1,0 +1,102 @@
+"""Density topology parameterization (the ``Density`` baselines).
+
+Per-pixel latent variables squashed by a sigmoid, optionally Gaussian-
+filtered (the blur-based MFS-control heuristic of prior art, the ``-M``
+suffix in the paper's tables), then sharpened by a tanh projection:
+
+    x = sigmoid(theta);  x = blur(x)  [optional];  rho = project(x).
+
+Without the filter this parameterization can place single-pixel features —
+exactly the fabricability failure mode the paper's Table I demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff import functional as F
+from repro.autodiff.ops import as_tensor
+from repro.fab.etch import tanh_projection
+
+__all__ = ["DensityParameterization"]
+
+
+def _gaussian_kernel(shape: tuple[int, int], dl: float, radius_um: float) -> np.ndarray:
+    nx, ny = shape
+    x = np.fft.fftfreq(nx, d=1.0) * nx * dl
+    y = np.fft.fftfreq(ny, d=1.0) * ny * dl
+    X, Y = np.meshgrid(x, y, indexing="ij")
+    kernel = np.exp(-(X**2 + Y**2) / (2 * radius_um**2))
+    return kernel / kernel.sum()
+
+
+class DensityParameterization:
+    """Map per-pixel latents to a [0, 1] pattern.
+
+    Parameters
+    ----------
+    design_shape:
+        Pattern resolution ``(Nx, Ny)``.
+    dl:
+        Cell pitch in um (needed when filtering).
+    blur_radius_um:
+        Gaussian MFS-control filter radius; ``None`` disables filtering
+        (the plain ``Density`` baseline).
+    beta:
+        Projection sharpness.
+    """
+
+    def __init__(
+        self,
+        design_shape: tuple[int, int],
+        dl: float = 0.05,
+        blur_radius_um: float | None = None,
+        beta: float = 8.0,
+    ):
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        if blur_radius_um is not None and blur_radius_um <= 0:
+            raise ValueError("blur radius must be positive (or None)")
+        self.design_shape = tuple(design_shape)
+        self.dl = float(dl)
+        self.blur_radius_um = blur_radius_um
+        self.beta = float(beta)
+        self.name = "density-m" if blur_radius_um else "density"
+        self._kernel = (
+            _gaussian_kernel(self.design_shape, self.dl, blur_radius_um)
+            if blur_radius_um
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def knot_shape(self) -> tuple[int, int]:
+        """Latent shape (full design resolution for density methods)."""
+        return self.design_shape
+
+    @property
+    def n_parameters(self) -> int:
+        return self.design_shape[0] * self.design_shape[1]
+
+    def pattern(self, theta) -> Tensor:
+        """Differentiable pattern ``rho(theta)`` in [0, 1]."""
+        theta = as_tensor(theta)
+        if tuple(theta.shape) != self.design_shape:
+            raise ValueError(
+                f"theta shape {theta.shape} != design {self.design_shape}"
+            )
+        x = F.sigmoid(theta)
+        if self._kernel is not None:
+            x = F.conv2d_fft(x, self._kernel)
+        return tanh_projection(x, 0.5, beta=self.beta)
+
+    def pattern_array(self, theta: np.ndarray) -> np.ndarray:
+        """Hard binary pattern for evaluation (no autodiff)."""
+        theta = np.asarray(theta, dtype=np.float64)
+        x = 1.0 / (1.0 + np.exp(-theta))
+        if self._kernel is not None:
+            x = np.real(
+                np.fft.ifft2(np.fft.fft2(x) * np.fft.fft2(self._kernel))
+            )
+        return (x > 0.5).astype(np.float64)

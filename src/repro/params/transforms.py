@@ -1,0 +1,44 @@
+"""Shared projection transforms for the parameterizations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.autodiff import functional as F
+from repro.autodiff.ops import as_tensor, custom_vjp
+
+__all__ = ["smooth_heaviside", "heaviside_ste"]
+
+
+def smooth_heaviside(phi, beta: float) -> Tensor:
+    """Differentiable Heaviside ``(tanh(beta phi) + 1) / 2``.
+
+    Maps a level-set function to material occupancy in (0, 1); the
+    transition width is ~1/beta in level-set units.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    return (F.tanh(as_tensor(phi) * beta) + 1.0) * 0.5
+
+
+def heaviside_ste(phi, beta: float) -> Tensor:
+    """Hard Heaviside forward, smooth-tanh gradient backward.
+
+    The forward pass emits an exactly binary pattern ``1[phi > 0]`` (what
+    a level-set design *means* physically); the backward pass uses the
+    derivative of :func:`smooth_heaviside` so that gradients keep flowing
+    to knots near the boundary.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+
+    def forward(phi_arr):
+        return (phi_arr > 0).astype(np.float64)
+
+    def vjp(g, out, phi_arr):
+        sech2 = 1.0 - np.tanh(beta * phi_arr) ** 2
+        return (g * 0.5 * beta * sech2,)
+
+    op = custom_vjp(forward, vjp, name="heaviside_ste")
+    return op(as_tensor(phi))

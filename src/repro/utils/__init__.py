@@ -1,0 +1,22 @@
+"""Shared utilities: physical constants, seeding, rendering, MFS analysis."""
+
+from repro.utils.constants import (
+    C_UM_PER_S,
+    EPS_SI,
+    EPS_SIO2,
+    EPS_VOID,
+    WAVELENGTH_DEFAULT_UM,
+    omega_from_wavelength,
+)
+from repro.utils.seeding import SeedSequence, rng_from_seed
+
+__all__ = [
+    "C_UM_PER_S",
+    "EPS_SI",
+    "EPS_SIO2",
+    "EPS_VOID",
+    "WAVELENGTH_DEFAULT_UM",
+    "omega_from_wavelength",
+    "SeedSequence",
+    "rng_from_seed",
+]

@@ -1,0 +1,68 @@
+"""Physical constants and unit conventions.
+
+The whole package works in *natural units*: lengths in micrometres,
+``epsilon_0 = mu_0 = c = 1``.  The angular frequency of light of free-space
+wavelength ``lam`` (in um) is then ``omega = 2 pi / lam`` and the scalar
+Helmholtz operator reads ``laplacian + omega^2 eps_r``.  Absolute powers are
+meaningless in these units; every figure of merit in the package is a power
+*ratio* normalized by an input-power calibration run, so the unit system
+cancels out.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum, um/s (only used for documentation conversions).
+C_UM_PER_S = 299792458.0e6
+
+#: Default telecom operating wavelength (um).
+WAVELENGTH_DEFAULT_UM = 1.55
+
+#: Relative permittivity of silicon at 1550 nm and T = 300 K.
+#: The paper's temperature model (Komma et al. [10]) is
+#: ``eps_Si(t) = (3.48 + 1.8e-4 (t - 300))^2``; at t = 300 this is 3.48^2.
+EPS_SI = 3.48**2
+
+#: Relative permittivity of silica cladding (unused by default: the paper
+#: builds devices with air voids, but the value is provided for users who
+#: want an oxide-clad variant).
+EPS_SIO2 = 1.445**2
+
+#: Relative permittivity of the void (air cladding), per the paper.
+EPS_VOID = 1.0
+
+#: Nominal operating temperature in kelvin.
+TEMPERATURE_NOMINAL_K = 300.0
+
+#: Silicon thermo-optic coefficient (refractive index per kelvin) at
+#: 1550 nm, Komma et al., APL 101 041905 (2012).
+SI_THERMO_OPTIC_COEFF = 1.8e-4
+
+#: Base silicon refractive index entering the thermo-optic model.
+SI_BASE_INDEX = 3.48
+
+
+def omega_from_wavelength(wavelength_um: float) -> float:
+    """Angular frequency (natural units, c = 1) for a free-space wavelength.
+
+    Parameters
+    ----------
+    wavelength_um:
+        Free-space wavelength in micrometres.  Must be positive.
+
+    Returns
+    -------
+    float
+        ``2 pi / wavelength_um``.
+    """
+    if wavelength_um <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_um}")
+    return 2.0 * math.pi / wavelength_um
+
+
+def wavelength_from_omega(omega: float) -> float:
+    """Inverse of :func:`omega_from_wavelength`."""
+    if omega <= 0:
+        raise ValueError(f"omega must be positive, got {omega}")
+    return 2.0 * math.pi / omega

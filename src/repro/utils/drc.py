@@ -1,0 +1,100 @@
+"""Design-rule checking (DRC) reports for finished patterns.
+
+Foundry PDKs express manufacturability as design rules; the two that
+matter for inverse-designed 2-D patterns are minimum solid feature width
+and minimum void gap.  This module packages the morphological
+measurements of :mod:`repro.utils.mfs` into a pass/fail report — the
+check a tape-out flow would run on each method's output (and the check
+the paper's free-optimization baselines fail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.utils.mfs import minimum_feature_size
+
+__all__ = ["DesignRules", "DrcReport", "run_drc"]
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Minimum-dimension rules, in um.
+
+    The defaults approximate a relaxed silicon-photonics shuttle rule set
+    at our 50-nm grid (the paper's foundry MFS discussion, Sec. II-B).
+    """
+
+    min_solid_um: float = 0.1
+    min_gap_um: float = 0.1
+
+    def __post_init__(self):
+        if self.min_solid_um <= 0 or self.min_gap_um <= 0:
+            raise ValueError("design rules must be positive")
+
+
+@dataclass
+class DrcReport:
+    """Outcome of a DRC run on one pattern."""
+
+    rules: DesignRules
+    solid_mfs_um: float
+    gap_mfs_um: float
+    n_solid_features: int
+    n_void_features: int
+    solid_fill: float
+
+    @property
+    def solid_ok(self) -> bool:
+        return self.solid_mfs_um >= self.rules.min_solid_um
+
+    @property
+    def gap_ok(self) -> bool:
+        return self.gap_mfs_um >= self.rules.min_gap_um
+
+    @property
+    def clean(self) -> bool:
+        """True when the pattern violates no rule."""
+        return self.solid_ok and self.gap_ok
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else "VIOLATIONS"
+        return (
+            f"DRC {status}: solid MFS {self.solid_mfs_um * 1000:.0f} nm "
+            f"(rule {self.rules.min_solid_um * 1000:.0f}), gap MFS "
+            f"{self.gap_mfs_um * 1000:.0f} nm (rule "
+            f"{self.rules.min_gap_um * 1000:.0f}); "
+            f"{self.n_solid_features} features, fill "
+            f"{self.solid_fill:.0%}"
+        )
+
+
+def run_drc(
+    pattern: np.ndarray, dl: float, rules: DesignRules | None = None
+) -> DrcReport:
+    """Check a binary pattern against minimum-dimension rules.
+
+    Parameters
+    ----------
+    pattern:
+        Binary design pattern.
+    dl:
+        Cell pitch in um.
+    rules:
+        The rule set; defaults to :class:`DesignRules`.
+    """
+    rules = rules or DesignRules()
+    binary = np.asarray(pattern) > 0.5
+    _, n_solid = ndimage.label(binary)
+    _, n_void = ndimage.label(~binary)
+    return DrcReport(
+        rules=rules,
+        solid_mfs_um=minimum_feature_size(binary, dl, "solid"),
+        gap_mfs_um=minimum_feature_size(binary, dl, "void"),
+        n_solid_features=int(n_solid),
+        n_void_features=int(n_void),
+        solid_fill=float(binary.mean()),
+    )

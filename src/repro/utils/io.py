@@ -1,0 +1,47 @@
+"""Result persistence: JSON + npz round-tripping of experiment outputs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["save_result", "load_result"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert numpy scalars/arrays into JSON-encodable values."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _unjsonify(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.array(value["__ndarray__"], dtype=value.get("dtype"))
+        return {k: _unjsonify(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unjsonify(v) for v in value]
+    return value
+
+
+def save_result(payload: dict, path: str | Path) -> Path:
+    """Write an experiment-result dict (arrays included) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonify(payload), indent=2))
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Read back a result written by :func:`save_result`."""
+    return _unjsonify(json.loads(Path(path).read_text()))

@@ -1,0 +1,55 @@
+"""Pattern rendering without plotting dependencies.
+
+The benchmark environment has no matplotlib; designs are rendered as ASCII
+art (for logs / README) and PGM images (viewable anywhere) instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ascii_pattern", "save_pgm", "field_magnitude_ascii"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_pattern(pattern: np.ndarray, max_width: int = 64) -> str:
+    """Render a [0, 1] pattern as ASCII art (y up, x right)."""
+    pattern = np.asarray(pattern, dtype=np.float64)
+    if pattern.ndim != 2:
+        raise ValueError("pattern must be 2-D")
+    nx, ny = pattern.shape
+    stride = max(1, int(np.ceil(nx / max_width)))
+    sampled = pattern[::stride, ::stride]
+    # Transpose so x runs horizontally; flip so +y is up.
+    img = sampled.T[::-1]
+    lines = []
+    for row in img:
+        chars = [
+            _SHADES[int(np.clip(v, 0, 1) * (len(_SHADES) - 1))] for v in row
+        ]
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def field_magnitude_ascii(field: np.ndarray, max_width: int = 64) -> str:
+    """Render |field| (e.g. ``|Ez|``) normalized to its own maximum."""
+    magnitude = np.abs(np.asarray(field))
+    peak = magnitude.max()
+    if peak > 0:
+        magnitude = magnitude / peak
+    return ascii_pattern(magnitude, max_width=max_width)
+
+
+def save_pgm(pattern: np.ndarray, path: str | Path) -> Path:
+    """Write a [0, 1] array as a binary PGM image."""
+    pattern = np.asarray(pattern, dtype=np.float64)
+    if pattern.ndim != 2:
+        raise ValueError("pattern must be 2-D")
+    path = Path(path)
+    img = (np.clip(pattern.T[::-1], 0, 1) * 255).astype(np.uint8)
+    header = f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode()
+    path.write_bytes(header + img.tobytes())
+    return path

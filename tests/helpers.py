@@ -1,0 +1,52 @@
+"""Shared test utilities: numerical-gradient checking for autodiff ops."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+def numerical_grad(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_grad(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+    eps: float = 1e-6,
+) -> None:
+    """Assert autodiff gradient of ``fn`` matches central differences."""
+    x = np.asarray(x, dtype=np.float64)
+    leaf = Tensor(x.copy(), requires_grad=True)
+    out = fn(leaf)
+    assert out.size == 1, "check_grad expects a scalar output"
+    out.backward()
+    assert leaf.grad is not None, "no gradient reached the leaf"
+
+    def scalar_fn(arr):
+        return fn(Tensor(arr)).item()
+
+    expected = numerical_grad(scalar_fn, x, eps=eps)
+    np.testing.assert_allclose(leaf.grad, expected, rtol=rtol, atol=atol)

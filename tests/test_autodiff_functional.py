@@ -1,0 +1,261 @@
+"""Unit + property tests for repro.autodiff.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import Tensor, tensor
+from repro.autodiff import functional as F
+
+from tests.helpers import check_grad
+
+
+def smooth_arrays(min_side=1, max_side=6, min_val=-3.0, max_val=3.0):
+    """Hypothesis strategy for well-behaved float arrays."""
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=min_side, max_side=max_side),
+        elements=st.floats(min_val, max_val, allow_nan=False, width=64),
+    )
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_grad(lambda x: F.sum(x), np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_sum_axis0(self):
+        check_grad(
+            lambda x: (F.sum(x, axis=0) * tensor([1.0, 2.0])).sum(),
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+
+    def test_sum_axis_keepdims(self):
+        check_grad(
+            lambda x: (F.sum(x, axis=1, keepdims=True) * 2.0).sum(),
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+
+    def test_mean_all(self):
+        check_grad(lambda x: F.mean(x), np.array([1.0, 2.0, 3.0, 4.0]))
+
+    def test_mean_axis(self):
+        check_grad(
+            lambda x: (F.mean(x, axis=0) * tensor([1.0, -1.0])).sum(),
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+
+    def test_mean_value(self):
+        assert F.mean(tensor([2.0, 4.0])).item() == 3.0
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "fn,x",
+        [
+            (F.exp, np.array([0.1, -0.5, 1.0])),
+            (F.log, np.array([0.5, 1.5, 3.0])),
+            (F.sqrt, np.array([0.25, 1.0, 4.0])),
+            (F.tanh, np.array([-1.0, 0.2, 2.0])),
+            (F.sigmoid, np.array([-2.0, 0.0, 2.0])),
+            (F.softplus, np.array([-2.0, 0.3, 2.0])),
+        ],
+        ids=["exp", "log", "sqrt", "tanh", "sigmoid", "softplus"],
+    )
+    def test_smooth_unary_grads(self, fn, x):
+        check_grad(lambda t: fn(t).sum(), x)
+
+    def test_abs_grad_away_from_zero(self):
+        check_grad(lambda t: F.abs(t).sum(), np.array([1.0, -2.0, 0.5]))
+
+    def test_relu_values(self):
+        out = F.relu(tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        check_grad(lambda t: F.relu(t).sum(), np.array([1.0, -2.0, 3.0]))
+
+    def test_softplus_beta_sharpens(self):
+        x = tensor([0.1])
+        hard = F.softplus(x, beta=50.0).item()
+        assert hard == pytest.approx(0.1, abs=1e-2)
+
+    def test_sigmoid_range(self):
+        out = F.sigmoid(tensor(np.linspace(-20, 20, 11)))
+        assert np.all(out.data >= 0.0) and np.all(out.data <= 1.0)
+
+
+class TestBinaryAndSelect:
+    def test_maximum_grad(self):
+        check_grad(
+            lambda t: F.maximum(t, tensor([0.5, 0.5, 0.5])).sum(),
+            np.array([1.0, 0.2, 0.7]),
+        )
+
+    def test_minimum_grad(self):
+        check_grad(
+            lambda t: F.minimum(t, tensor([0.5, 0.5, 0.5])).sum(),
+            np.array([1.0, 0.2, 0.7]),
+        )
+
+    def test_maximum_tie_splits_gradient(self):
+        a = tensor([1.0], requires_grad=True)
+        b = tensor([1.0], requires_grad=True)
+        F.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [0.5])
+
+    def test_clip_values_and_grad(self):
+        out = F.clip(tensor([-2.0, 0.5, 3.0]), 0.0, 1.0)
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0])
+        check_grad(lambda t: F.clip(t, 0.0, 1.0).sum(), np.array([0.2, 0.8]))
+
+    def test_where_grad(self):
+        cond = np.array([True, False, True])
+        check_grad(
+            lambda t: F.where(cond, t * 2.0, t * 3.0).sum(),
+            np.array([1.0, 2.0, 3.0]),
+        )
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        check_grad(
+            lambda t: (F.reshape(t, (3, 2)) * 2.0).sum(), np.arange(6.0)
+        )
+
+    def test_transpose_grad(self):
+        check_grad(
+            lambda t: (F.transpose(t) * tensor(np.eye(2, 3))).sum(),
+            np.arange(6.0).reshape(3, 2),
+        )
+
+    def test_pad_constant_shape(self):
+        out = F.pad_constant(tensor(np.ones((2, 2))), 1)
+        assert out.shape == (4, 4)
+        assert out.data[0, 0] == 0.0
+
+    def test_pad_constant_grad(self):
+        check_grad(
+            lambda t: (F.pad_constant(t, 1) ** 2).sum(), np.ones((2, 3))
+        )
+
+    def test_stack_grad(self):
+        def fn(t):
+            s = F.stack([t, t * 2.0], axis=0)
+            return (s * s).sum()
+
+        check_grad(fn, np.array([1.0, 2.0]))
+
+    def test_concatenate_grad(self):
+        def fn(t):
+            c = F.concatenate([t, t * 3.0], axis=0)
+            return (c**2).sum()
+
+        check_grad(fn, np.array([1.0, -1.0]))
+
+    def test_dot(self):
+        check_grad(
+            lambda t: F.dot(t, tensor([1.0, 2.0, 3.0])), np.array([1.0, 0.0, -1.0])
+        )
+
+
+class TestUpsampleBilinear:
+    def test_preserves_constant(self):
+        out = F.upsample_bilinear(tensor(np.full((3, 3), 2.5)), (10, 12))
+        np.testing.assert_allclose(out.data, 2.5)
+
+    def test_corners_align(self):
+        knots = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = F.upsample_bilinear(tensor(knots), (5, 5)).data
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[0, -1] == pytest.approx(1.0)
+        assert out[-1, 0] == pytest.approx(2.0)
+        assert out[-1, -1] == pytest.approx(3.0)
+
+    def test_grad_matches_fd(self):
+        check_grad(
+            lambda t: (F.upsample_bilinear(t, (7, 6)) ** 2).sum(),
+            np.random.default_rng(0).normal(size=(3, 4)),
+            rtol=1e-4,
+        )
+
+    def test_linear_ramp_exact(self):
+        knots = np.linspace(0, 1, 4)[None, :].repeat(2, axis=0)
+        out = F.upsample_bilinear(tensor(knots), (2, 7)).data
+        np.testing.assert_allclose(out[0], np.linspace(0, 1, 7), atol=1e-12)
+
+
+class TestConv2dFFT:
+    def test_identity_kernel(self):
+        x = np.random.default_rng(1).normal(size=(8, 8))
+        kernel = np.zeros((8, 8))
+        kernel[0, 0] = 1.0
+        out = F.conv2d_fft(tensor(x), kernel)
+        np.testing.assert_allclose(out.data, x, atol=1e-12)
+
+    def test_shift_kernel(self):
+        x = np.zeros((6, 6))
+        x[2, 2] = 1.0
+        kernel = np.zeros((6, 6))
+        kernel[1, 0] = 1.0  # shift by one row
+        out = F.conv2d_fft(tensor(x), kernel).data
+        assert out[3, 2] == pytest.approx(1.0)
+
+    def test_grad_matches_fd(self):
+        rng = np.random.default_rng(2)
+        kernel = rng.normal(size=(5, 5))
+        check_grad(
+            lambda t: (F.conv2d_fft(t, kernel) ** 2).sum(),
+            rng.normal(size=(5, 5)),
+            rtol=1e-4,
+        )
+
+    def test_kernel_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d_fft(tensor(np.ones((4, 4))), np.ones((3, 3)))
+
+
+class TestPropertyBased:
+    @given(smooth_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_sum_grad_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        F.sum(t).backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(smooth_arrays(min_val=-2.0, max_val=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_tanh_grad_bounded(self, x):
+        t = Tensor(x, requires_grad=True)
+        F.sum(F.tanh(t)).backward()
+        assert np.all(t.grad <= 1.0 + 1e-12)
+        assert np.all(t.grad >= 0.0)
+
+    @given(smooth_arrays(min_val=-2.0, max_val=2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_mul_grad_matches_fd(self, x):
+        check_grad(lambda t: (t * t * 0.5).sum(), x, rtol=1e-3, atol=1e-5)
+
+    @given(smooth_arrays(min_val=0.1, max_val=3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_log_exp_roundtrip(self, x):
+        t = tensor(x)
+        np.testing.assert_allclose(F.exp(F.log(t)).data, x, rtol=1e-10)
+
+    @given(smooth_arrays())
+    @settings(max_examples=20, deadline=None)
+    def test_relu_idempotent(self, x):
+        t = tensor(x)
+        once = F.relu(t).data
+        twice = F.relu(F.relu(t)).data
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(6, 12), st.integers(6, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_upsample_range_preserved(self, nx, ny, ox, oy):
+        rng = np.random.default_rng(nx * 100 + ny)
+        knots = rng.uniform(-1, 1, size=(nx, ny))
+        out = F.upsample_bilinear(tensor(knots), (ox, oy)).data
+        assert out.min() >= knots.min() - 1e-12
+        assert out.max() <= knots.max() + 1e-12

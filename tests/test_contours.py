@@ -1,0 +1,85 @@
+"""Tests for boundary tracing / polygon export."""
+
+import numpy as np
+import pytest
+
+from repro.utils.contours import polygon_area, trace_boundaries, write_polygons
+
+
+class TestTraceBoundaries:
+    def test_empty_pattern(self):
+        assert trace_boundaries(np.zeros((8, 8))) == []
+
+    def test_full_pattern_one_loop(self):
+        loops = trace_boundaries(np.ones((6, 6)))
+        assert len(loops) == 1
+
+    def test_single_block_closed_loop(self):
+        pattern = np.zeros((10, 10))
+        pattern[3:7, 3:7] = 1.0
+        loops = trace_boundaries(pattern)
+        assert len(loops) == 1
+        loop = loops[0]
+        np.testing.assert_allclose(loop[0], loop[-1])
+
+    def test_block_area_approximates_pixel_count(self):
+        pattern = np.zeros((12, 12))
+        pattern[2:9, 3:8] = 1.0  # 7 x 5 = 35 px
+        loops = trace_boundaries(pattern, dl=1.0)
+        area = abs(polygon_area(loops[0]))
+        assert area == pytest.approx(35.0, rel=0.2)
+
+    def test_two_blocks_two_loops(self):
+        pattern = np.zeros((16, 16))
+        pattern[2:6, 2:6] = 1.0
+        pattern[9:14, 9:14] = 1.0
+        loops = trace_boundaries(pattern)
+        assert len(loops) == 2
+
+    def test_hole_gives_inner_loop(self):
+        pattern = np.zeros((14, 14))
+        pattern[2:12, 2:12] = 1.0
+        pattern[6:8, 6:8] = 0.0
+        loops = trace_boundaries(pattern)
+        assert len(loops) == 2
+
+    def test_dl_scales_coordinates(self):
+        pattern = np.zeros((10, 10))
+        pattern[3:7, 3:7] = 1.0
+        unit = trace_boundaries(pattern, dl=1.0)[0]
+        scaled = trace_boundaries(pattern, dl=0.05)[0]
+        np.testing.assert_allclose(scaled, unit * 0.05)
+
+    def test_validates_ndim(self):
+        with pytest.raises(ValueError):
+            trace_boundaries(np.zeros(5))
+
+
+class TestPolygonArea:
+    def test_unit_square_ccw(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0, 0]], float)
+        assert polygon_area(sq) == pytest.approx(1.0)
+
+    def test_orientation_flips_sign(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0, 0]], float)
+        assert polygon_area(sq[::-1]) == pytest.approx(-1.0)
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            polygon_area(np.zeros((2, 2)))
+
+
+class TestWritePolygons:
+    def test_roundtrip_text(self, tmp_path):
+        pattern = np.zeros((10, 10))
+        pattern[3:7, 3:7] = 1.0
+        loops = trace_boundaries(pattern, dl=0.05)
+        path = write_polygons(loops, tmp_path / "mask.txt", layer=2)
+        text = path.read_text()
+        assert "POLYGON layer=2" in text
+        assert text.count("END") == len(loops)
+        # Every vertex line parses as two floats.
+        for line in text.splitlines():
+            if line and not line.startswith(("POLYGON", "END")):
+                x, y = line.split()
+                float(x), float(y)

@@ -1,0 +1,213 @@
+"""Tests for objective construction (Eq. 2), relaxation (Eq. 3), Adam."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, tensor
+from repro.core import Adam, RelaxationSchedule, build_loss, radiation_power
+from repro.core.objective import penalty
+
+
+def powers_of(**kwargs):
+    """Helper: one-direction powers dict of scalar tensors."""
+    return {"fwd": {k: tensor(np.array(v)) for k, v in kwargs.items()}}
+
+
+class TestRadiation:
+    def test_complement_of_ports(self):
+        p = powers_of(out=0.7, refl=0.1)
+        assert radiation_power(p["fwd"]).item() == pytest.approx(0.2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            radiation_power({})
+
+
+class TestPenalty:
+    def test_upper_inactive_below_bound(self):
+        assert penalty(tensor(np.array(0.03)), 0.05, "upper", 2.0).item() == 0.0
+
+    def test_upper_active_above_bound(self):
+        assert penalty(
+            tensor(np.array(0.15)), 0.05, "upper", 2.0
+        ).item() == pytest.approx(0.2)
+
+    def test_lower_active_below_bound(self):
+        assert penalty(
+            tensor(np.array(0.5)), 0.8, "lower", 1.0
+        ).item() == pytest.approx(0.3)
+
+    def test_lower_inactive_above_bound(self):
+        assert penalty(tensor(np.array(0.9)), 0.8, "lower", 1.0).item() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            penalty(tensor(np.array(0.5)), 0.5, "sideways", 1.0)
+        with pytest.raises(ValueError):
+            penalty(tensor(np.array(0.5)), 0.5, "upper", -1.0)
+
+
+class TestBuildLoss:
+    MAXIMIZE = {
+        "main": {"direction": "fwd", "kind": "maximize", "port": "out"},
+        "penalties": [
+            {
+                "direction": "fwd",
+                "port": "refl",
+                "bound": 0.05,
+                "side": "upper",
+                "weight": 1.0,
+            }
+        ],
+    }
+
+    def test_maximize_is_negated(self):
+        loss = build_loss(self.MAXIMIZE, powers_of(out=0.8, refl=0.01))
+        assert loss.item() == pytest.approx(-0.8)
+
+    def test_penalty_added_when_violated(self):
+        loss = build_loss(self.MAXIMIZE, powers_of(out=0.8, refl=0.25))
+        assert loss.item() == pytest.approx(-0.8 + 0.2)
+
+    def test_sparse_drops_penalties(self):
+        loss = build_loss(
+            self.MAXIMIZE, powers_of(out=0.8, refl=0.9), dense=False
+        )
+        assert loss.item() == pytest.approx(-0.8)
+
+    def test_minimize_kind(self):
+        terms = {"main": {"direction": "fwd", "kind": "minimize", "port": "out"}}
+        assert build_loss(terms, powers_of(out=0.3)).item() == pytest.approx(0.3)
+
+    def test_contrast_kind(self):
+        terms = {
+            "main": {
+                "kind": "contrast",
+                "num": ("bwd", "bwd"),
+                "den": ("fwd", "trans3"),
+                "floor": 1e-4,
+            }
+        }
+        powers = {
+            "fwd": {"trans3": tensor(np.array(0.5))},
+            "bwd": {"bwd": tensor(np.array(0.01))},
+        }
+        assert build_loss(terms, powers).item() == pytest.approx(0.02)
+
+    def test_contrast_floor_prevents_blowup(self):
+        terms = {
+            "main": {
+                "kind": "contrast",
+                "num": ("bwd", "bwd"),
+                "den": ("fwd", "trans3"),
+                "floor": 1e-2,
+            }
+        }
+        powers = {
+            "fwd": {"trans3": tensor(np.array(1e-9))},
+            "bwd": {"bwd": tensor(np.array(0.5))},
+        }
+        assert build_loss(terms, powers).item() == pytest.approx(50.0)
+
+    def test_radiation_pseudo_port(self):
+        terms = {
+            "main": {"direction": "fwd", "kind": "maximize", "port": "out"},
+            "penalties": [
+                {
+                    "direction": "fwd",
+                    "port": "__radiation__",
+                    "bound": 0.1,
+                    "side": "upper",
+                    "weight": 1.0,
+                }
+            ],
+        }
+        # radiation = 1 - 0.6 - 0.1 = 0.3, penalty = 0.2
+        loss = build_loss(terms, powers_of(out=0.6, refl=0.1))
+        assert loss.item() == pytest.approx(-0.6 + 0.2)
+
+    def test_unknown_direction_raises(self):
+        terms = {"main": {"direction": "bwd", "kind": "maximize", "port": "out"}}
+        with pytest.raises(KeyError):
+            build_loss(terms, powers_of(out=0.5))
+
+    def test_unknown_port_raises(self):
+        terms = {"main": {"direction": "fwd", "kind": "maximize", "port": "zz"}}
+        with pytest.raises(KeyError):
+            build_loss(terms, powers_of(out=0.5))
+
+    def test_unknown_kind_raises(self):
+        terms = {"main": {"direction": "fwd", "kind": "mystify", "port": "out"}}
+        with pytest.raises(ValueError):
+            build_loss(terms, powers_of(out=0.5))
+
+    def test_gradient_flows_through_loss(self):
+        out = Tensor(np.array(0.5), requires_grad=True)
+        powers = {"fwd": {"out": out, "refl": tensor(np.array(0.2))}}
+        build_loss(self.MAXIMIZE, powers).backward()
+        assert out.grad == pytest.approx(-1.0)
+
+
+class TestRelaxation:
+    def test_ramps_to_one(self):
+        s = RelaxationSchedule(relax_epochs=10, p_start=0.2)
+        assert s.p(0) == pytest.approx(0.2)
+        assert s.p(5) == pytest.approx(0.6)
+        assert s.p(10) == 1.0
+        assert s.p(100) == 1.0
+
+    def test_disabled_always_one(self):
+        s = RelaxationSchedule(relax_epochs=0)
+        assert not s.enabled
+        assert s.p(0) == 1.0
+
+    def test_monotone(self):
+        s = RelaxationSchedule(relax_epochs=17, p_start=0.1)
+        ps = [s.p(i) for i in range(25)]
+        assert ps == sorted(ps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelaxationSchedule(relax_epochs=-1)
+        with pytest.raises(ValueError):
+            RelaxationSchedule(p_start=1.5)
+        with pytest.raises(ValueError):
+            RelaxationSchedule().p(-1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        adam = Adam(lr=0.1)
+        x = np.array([5.0, -3.0])
+        for _ in range(300):
+            x = adam.step(x, 2 * x)
+        np.testing.assert_allclose(x, 0.0, atol=1e-3)
+
+    def test_step_count(self):
+        adam = Adam()
+        x = np.zeros(3)
+        adam.step(x, np.ones(3))
+        adam.step(x, np.ones(3))
+        assert adam.step_count == 2
+
+    def test_first_step_is_lr_sized(self):
+        adam = Adam(lr=0.05)
+        x = adam.step(np.zeros(2), np.array([1.0, -1.0]))
+        np.testing.assert_allclose(np.abs(x), 0.05, rtol=1e-6)
+
+    def test_reset(self):
+        adam = Adam()
+        adam.step(np.zeros(1), np.ones(1))
+        adam.reset()
+        assert adam.step_count == 0
+
+    def test_shape_mismatch(self):
+        adam = Adam()
+        with pytest.raises(ValueError):
+            adam.step(np.zeros(2), np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)

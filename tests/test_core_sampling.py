@@ -1,0 +1,113 @@
+"""Tests for the variation-sampling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    SAMPLING_STRATEGIES,
+    AxialPlusWorstSampling,
+    make_sampling_strategy,
+)
+from repro.fab.corners import VariationCorner
+
+RNG = np.random.default_rng(0)
+
+
+class TestStrategyCounts:
+    """Corner counts define the paper's linear-vs-exponential cost story."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("nominal", 1),
+            ("single-sided", 4),
+            ("axial", 7),
+            ("exhaustive", 27),
+        ],
+    )
+    def test_fixed_counts(self, name, expected):
+        s = make_sampling_strategy(name)
+        assert len(s.corners(0, RNG)) == expected
+        assert s.simulations_per_iteration() == expected
+
+    def test_random_counts(self):
+        s = make_sampling_strategy("random", n_random=3)
+        assert len(s.corners(0, RNG)) == 4  # nominal + 3
+
+    def test_axial_plus_random_counts(self):
+        s = make_sampling_strategy("axial+random", n_random=2)
+        assert len(s.corners(0, RNG)) == 9
+
+    def test_axial_plus_worst_without_finder(self):
+        s = make_sampling_strategy("axial+worst")
+        assert len(s.corners(0, RNG)) == 7  # degrades to axial
+
+    def test_axial_plus_worst_with_finder(self):
+        s = make_sampling_strategy("axial+worst")
+
+        def finder(t_step, xi_step):
+            return VariationCorner("worst", temperature_k=330.0)
+
+        corners = s.corners(0, RNG, finder)
+        assert len(corners) == 8
+        assert corners[-1].name == "worst"
+
+    def test_linear_vs_exponential(self):
+        axial = make_sampling_strategy("axial").simulations_per_iteration()
+        exhaustive = make_sampling_strategy(
+            "exhaustive"
+        ).simulations_per_iteration()
+        assert exhaustive == 3**3
+        assert axial == 2 * 3 + 1
+
+
+class TestStrategyContents:
+    def test_axial_covers_both_sides(self):
+        s = make_sampling_strategy("axial", t_delta=25.0, eta_delta=0.02)
+        temps = {c.temperature_k for c in s.corners(0, RNG)}
+        assert 275.0 in temps and 325.0 in temps
+        etas = {c.eta_shift for c in s.corners(0, RNG)}
+        assert -0.02 in etas and 0.02 in etas
+
+    def test_single_sided_misses_low_corners(self):
+        s = make_sampling_strategy("single-sided", t_delta=25.0)
+        temps = {c.temperature_k for c in s.corners(0, RNG)}
+        assert 275.0 not in temps
+
+    def test_random_fresh_each_iteration(self):
+        s = make_sampling_strategy("random", n_random=2)
+        rng = np.random.default_rng(1)
+        a = s.corners(0, rng)[1].temperature_k
+        b = s.corners(1, rng)[1].temperature_k
+        assert a != b
+
+    def test_worst_finder_receives_steps(self):
+        s = AxialPlusWorstSampling(t_step=17.0, xi_step=0.5)
+        seen = {}
+
+        def finder(t_step, xi_step):
+            seen["t"] = t_step
+            seen["xi"] = xi_step
+            return VariationCorner("worst")
+
+        s.corners(0, RNG, finder)
+        assert seen == {"t": 17.0, "xi": 0.5}
+
+    def test_registry_complete(self):
+        assert set(SAMPLING_STRATEGIES) == {
+            "nominal",
+            "single-sided",
+            "axial",
+            "exhaustive",
+            "random",
+            "axial+random",
+            "axial+worst",
+        }
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_sampling_strategy("quantum")
+
+    def test_random_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            make_sampling_strategy("random", n_random=0)

@@ -1,0 +1,75 @@
+"""Tests for nominal-corner weighting in sampling and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Boson1Optimizer, OptimizerConfig, make_sampling_strategy
+from repro.devices import make_device
+from repro.fab.corners import CornerSet
+
+
+class TestCornerSetWeights:
+    def test_default_uniform(self):
+        cs = CornerSet.axial()
+        assert all(c.weight == 1.0 for c in cs)
+        assert cs.total_weight == 7.0
+
+    def test_nominal_weight_applied(self):
+        cs = CornerSet.axial(nominal_weight=4.0)
+        by_name = {c.name: c for c in cs}
+        assert by_name["nominal"].weight == 4.0
+        assert by_name["litho-min"].weight == 1.0
+        assert cs.total_weight == 10.0
+
+    def test_weight_skipped_without_nominal(self):
+        cs = CornerSet.axial(include_nominal=False, nominal_weight=4.0)
+        assert all(c.weight == 1.0 for c in cs)
+
+
+class TestSamplerWeights:
+    def test_axial_sampler_passes_weight(self):
+        s = make_sampling_strategy("axial", nominal_weight=3.0)
+        corners = s.corners(0, np.random.default_rng(0))
+        nominal = [c for c in corners if c.name == "nominal"]
+        assert nominal[0].weight == 3.0
+
+    def test_axial_worst_sampler_passes_weight(self):
+        s = make_sampling_strategy("axial+worst", nominal_weight=2.5)
+        corners = s.corners(0, np.random.default_rng(0))
+        nominal = [c for c in corners if c.name == "nominal"]
+        assert nominal[0].weight == 2.5
+
+    def test_count_unchanged_by_weight(self):
+        uniform = make_sampling_strategy("axial")
+        weighted = make_sampling_strategy("axial", nominal_weight=10.0)
+        assert (
+            uniform.simulations_per_iteration()
+            == weighted.simulations_per_iteration()
+        )
+
+
+class TestEngineWeightedAggregation:
+    def test_weighted_loss_biases_toward_nominal(self):
+        """As nominal_weight -> inf, the axial loss approaches the
+        nominal-only loss."""
+        from repro.autodiff import Tensor
+
+        device = make_device("bending")
+        base = dict(iterations=1, relax_epochs=0, seed=0)
+        heavy = Boson1Optimizer(
+            device,
+            OptimizerConfig(sampling="axial", nominal_weight=1e6, **base),
+        )
+        nominal_only = Boson1Optimizer(
+            device,
+            OptimizerConfig(sampling="nominal", **base),
+        )
+        theta = Tensor(heavy.theta.copy())
+        loss_heavy, _ = heavy.loss(theta, 0)
+        loss_nominal, _ = nominal_only.loss(theta, 0)
+        assert loss_heavy.item() == pytest.approx(
+            loss_nominal.item(), rel=1e-3
+        )
+
+    def test_config_default_weight(self):
+        assert OptimizerConfig().nominal_weight == 4.0

@@ -1,0 +1,208 @@
+"""Tests for Monte-Carlo evaluation, metrics, and the baseline registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    correct_mask,
+    run_baseline,
+)
+from repro.devices import make_device
+from repro.eval import (
+    degradation_percent,
+    evaluate_ideal,
+    evaluate_post_fab,
+    format_table,
+    improvement_percent,
+)
+from repro.eval.montecarlo import sample_corner
+from repro.fab.process import FabricationProcess
+from repro.params import rasterize_segments
+
+
+@pytest.fixture(scope="module")
+def bend():
+    return make_device("bending")
+
+
+@pytest.fixture(scope="module")
+def bend_process(bend):
+    return FabricationProcess(
+        bend.design_shape, bend.dl, context=bend.litho_context(12), pad=12
+    )
+
+
+@pytest.fixture(scope="module")
+def bend_pattern(bend):
+    return rasterize_segments(bend.design_shape, bend.dl, bend.init_segments())
+
+
+class TestMonteCarlo:
+    def test_report_statistics(self, bend, bend_process, bend_pattern):
+        report = evaluate_post_fab(
+            bend, bend_process, bend_pattern, n_samples=4, seed=0
+        )
+        assert report.n_samples == 4
+        assert report.foms.shape == (4,)
+        assert np.all(np.isfinite(report.foms))
+        assert report.mean_fom == pytest.approx(report.foms.mean())
+        assert "out" in report.mean_powers["fwd"]
+
+    def test_deterministic_seeding(self, bend, bend_process, bend_pattern):
+        a = evaluate_post_fab(bend, bend_process, bend_pattern, 3, seed=5)
+        b = evaluate_post_fab(bend, bend_process, bend_pattern, 3, seed=5)
+        np.testing.assert_array_equal(a.foms, b.foms)
+
+    def test_different_seeds_different_samples(
+        self, bend, bend_process, bend_pattern
+    ):
+        a = evaluate_post_fab(bend, bend_process, bend_pattern, 3, seed=1)
+        b = evaluate_post_fab(bend, bend_process, bend_pattern, 3, seed=2)
+        assert not np.array_equal(a.foms, b.foms)
+
+    def test_corners_recorded(self, bend, bend_process, bend_pattern):
+        report = evaluate_post_fab(bend, bend_process, bend_pattern, 3, seed=0)
+        assert len(report.corners) == 3
+        assert all(c.xi is not None for c in report.corners)
+
+    def test_n_samples_validated(self, bend, bend_process, bend_pattern):
+        with pytest.raises(ValueError):
+            evaluate_post_fab(bend, bend_process, bend_pattern, 0)
+
+    def test_ideal_evaluation(self, bend, bend_pattern):
+        fom, powers = evaluate_ideal(bend, bend_pattern)
+        assert fom == pytest.approx(powers["fwd"]["out"])
+
+    def test_sample_corner_ranges(self):
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            c = sample_corner(rng, n_xi=5, t_delta=30.0, index=i)
+            assert 270.0 <= c.temperature_k <= 330.0
+            assert c.litho in ("min", "nominal", "max")
+            assert c.xi.shape == (5,)
+
+
+class TestMetrics:
+    def test_degradation_higher_better(self):
+        # FoM drops 0.9 -> 0.45: 50% degradation.
+        assert degradation_percent(0.9, 0.45) == pytest.approx(50.0)
+
+    def test_degradation_lower_better(self):
+        # Contrast rises 0.002 -> 0.004: 50% degradation.
+        assert degradation_percent(
+            0.002, 0.004, lower_is_better=True
+        ) == pytest.approx(50.0)
+
+    def test_improvement_higher_better(self):
+        assert improvement_percent(0.9, 0.6) == pytest.approx(50.0)
+
+    def test_improvement_lower_better(self):
+        assert improvement_percent(
+            0.005, 0.5, lower_is_better=True
+        ) == pytest.approx(99.0)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            degradation_percent(0.0, 0.5)
+
+    def test_format_table(self):
+        table = format_table(
+            ["model", "fom"], [["BOSON-1", "0.98"], ["Density", "0.05"]],
+            title="Table I",
+        )
+        assert "Table I" in table
+        assert "BOSON-1" in table
+        lines = table.splitlines()
+        assert len(lines) == 5
+
+    def test_format_table_validates_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestMaskCorrection:
+    def test_correction_reduces_mismatch(self, bend_process, bend_pattern):
+        from repro.fab.corners import VariationCorner
+
+        result = correct_mask(
+            bend_process, bend_pattern, n_corners=1, iterations=30
+        )
+        naive_print = bend_process.apply_array(
+            bend_pattern, VariationCorner("nominal")
+        )
+        naive_error = float(np.mean((naive_print - bend_pattern) ** 2))
+        assert result.match_error <= naive_error + 1e-9
+        assert result.mask.shape == bend_pattern.shape
+
+    def test_loss_trace_decreases(self, bend_process, bend_pattern):
+        result = correct_mask(
+            bend_process, bend_pattern, n_corners=1, iterations=25
+        )
+        assert result.loss_trace[-1] < result.loss_trace[0]
+
+    def test_three_corner_matching(self, bend_process, bend_pattern):
+        result = correct_mask(
+            bend_process, bend_pattern, n_corners=3, iterations=10
+        )
+        assert np.isfinite(result.match_error)
+
+    def test_invalid_corner_count(self, bend_process, bend_pattern):
+        with pytest.raises(ValueError):
+            correct_mask(bend_process, bend_pattern, n_corners=2)
+
+    def test_shape_validated(self, bend_process):
+        with pytest.raises(ValueError):
+            correct_mask(bend_process, np.ones((8, 8)))
+
+
+class TestBaselineRegistry:
+    def test_registry_names_match_paper(self):
+        expected = {
+            "Density",
+            "Density-M",
+            "LS",
+            "LS-M",
+            "InvFabCor-1",
+            "InvFabCor-3",
+            "InvFabCor-M-1",
+            "InvFabCor-M-3",
+            "InvFabCor-M-3-eff",
+            "BOSON-1",
+        }
+        assert set(BASELINE_REGISTRY) == expected
+
+    def test_unknown_method(self, bend, bend_process):
+        with pytest.raises(ValueError):
+            run_baseline("GradientFree", bend, bend_process)
+
+    @pytest.mark.parametrize("method", ["Density", "LS"])
+    def test_free_methods_run(self, method, bend, bend_process):
+        result = run_baseline(method, bend, bend_process, iterations=2)
+        assert result.method == method
+        assert result.design_pattern.shape == bend.design_shape
+        np.testing.assert_array_equal(result.mask, result.design_pattern)
+
+    def test_invfabcor_produces_distinct_mask(self, bend, bend_process):
+        result = run_baseline("InvFabCor-1", bend, bend_process, iterations=2)
+        assert "match_error" in result.metadata
+        assert result.mask.shape == result.design_pattern.shape
+
+    def test_boson1_runs(self, bend, bend_process):
+        result = run_baseline("BOSON-1", bend, bend_process, iterations=1)
+        assert result.method == "BOSON-1"
+
+    def test_eff_variant_on_isolator(self):
+        from repro.baselines.registry import _efficiency_terms
+
+        iso = make_device("isolator")
+        terms = _efficiency_terms(iso)
+        assert terms["main"]["kind"] == "maximize"
+        assert terms["main"]["port"] == "trans3"
+        # All penalties restricted to the forward direction.
+        assert all(p["direction"] == "fwd" for p in terms["penalties"])
+
+    def test_eff_terms_none_for_noncontrast(self, bend):
+        from repro.baselines.registry import _efficiency_terms
+
+        assert _efficiency_terms(bend) is None

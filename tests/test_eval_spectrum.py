@@ -1,0 +1,83 @@
+"""Tests for wavelength-sweep spectral evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.devices import make_device
+from repro.eval import SpectrumResult, wavelength_sweep
+from repro.params import rasterize_segments
+
+
+@pytest.fixture(scope="module")
+def bend_with_pattern():
+    device = make_device("bending")
+    pattern = rasterize_segments(
+        device.design_shape, device.dl, device.init_segments()
+    )
+    return device, pattern
+
+
+class TestWavelengthSweep:
+    def test_sweep_shapes(self, bend_with_pattern):
+        device, pattern = bend_with_pattern
+        result = wavelength_sweep(device, pattern, [1.50, 1.55, 1.60])
+        assert result.wavelengths_um.shape == (3,)
+        assert result.foms.shape == (3,)
+        assert len(result.powers) == 3
+        assert result.center_index == 1
+
+    def test_centre_matches_direct_evaluation(self, bend_with_pattern):
+        device, pattern = bend_with_pattern
+        result = wavelength_sweep(device, pattern, [1.55])
+        direct = device.port_powers_array(pattern, "fwd")["out"]
+        assert result.foms[0] == pytest.approx(direct, rel=1e-9)
+
+    def test_sweep_does_not_mutate_device(self, bend_with_pattern):
+        device, pattern = bend_with_pattern
+        omega_before = device.omega
+        wavelength_sweep(device, pattern, [1.4, 1.7])
+        assert device.omega == omega_before
+        assert device.wavelength_um == 1.55
+
+    def test_fom_varies_with_wavelength(self, bend_with_pattern):
+        device, pattern = bend_with_pattern
+        result = wavelength_sweep(device, pattern, [1.40, 1.55, 1.70])
+        assert len(set(np.round(result.foms, 6))) > 1
+
+    def test_validation(self, bend_with_pattern):
+        device, pattern = bend_with_pattern
+        with pytest.raises(ValueError):
+            wavelength_sweep(device, pattern, [])
+        with pytest.raises(ValueError):
+            wavelength_sweep(device, pattern, [1.55, -1.0])
+
+
+class TestBandwidth:
+    def test_flat_spectrum_full_band(self):
+        result = SpectrumResult(
+            wavelengths_um=np.linspace(1.5, 1.6, 11),
+            foms=np.full(11, 0.9),
+            powers=[{} for _ in range(11)],
+        )
+        assert result.bandwidth_um(0.1) == pytest.approx(0.1)
+
+    def test_narrow_peak_small_band(self):
+        lams = np.linspace(1.5, 1.6, 11)
+        foms = np.full(11, 0.1)
+        foms[5] = 0.9
+        result = SpectrumResult(lams, foms, [{} for _ in lams])
+        assert result.bandwidth_um(0.1) == pytest.approx(0.0)
+
+    def test_zero_centre(self):
+        result = SpectrumResult(
+            np.array([1.5, 1.55, 1.6]),
+            np.zeros(3),
+            [{}, {}, {}],
+        )
+        assert result.bandwidth_um() == 0.0
+
+    def test_band_grows_with_tolerance(self):
+        lams = np.linspace(1.5, 1.6, 21)
+        foms = 0.9 - 3.0 * (lams - 1.55) ** 2 * 100
+        result = SpectrumResult(lams, foms, [{} for _ in lams])
+        assert result.bandwidth_um(0.3) >= result.bandwidth_um(0.05)

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script parses and exposes a main()."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+class TestExamples:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_has_docstring(self, path):
+        module = ast.parse(path.read_text())
+        assert ast.get_docstring(module), f"{path.name} lacks a docstring"
+
+    def test_defines_main(self, path):
+        module = ast.parse(path.read_text())
+        names = {
+            node.name
+            for node in module.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in names
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLE_FILES) >= 5

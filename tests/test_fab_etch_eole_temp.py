@@ -1,0 +1,223 @@
+"""Tests for etch projections, EOLE random fields, temperature model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, tensor
+from repro.fab.etch import tanh_projection, ste_binarize, hard_binarize
+from repro.fab.eole import EOLEField
+from repro.fab.temperature import (
+    eps_si_of_temperature,
+    alpha_of_temperature,
+    alpha_tensor,
+)
+from repro.utils.constants import EPS_SI
+
+from tests.helpers import check_grad
+
+
+class TestTanhProjection:
+    def test_endpoints(self):
+        out = tanh_projection(tensor([0.0, 1.0]), 0.5, beta=10.0)
+        assert out.data[0] == pytest.approx(0.0, abs=1e-3)
+        assert out.data[1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone(self):
+        x = np.linspace(0, 1, 50)
+        out = tanh_projection(tensor(x), 0.5, beta=8.0).data
+        assert np.all(np.diff(out) > 0)
+
+    def test_sharper_beta_more_binary(self):
+        x = tensor(np.linspace(0.05, 0.95, 19))
+        soft = tanh_projection(x, 0.5, beta=2.0).data
+        hard = tanh_projection(x, 0.5, beta=50.0).data
+        # Binarity measured as mean distance from {0, 1}.
+        dist = lambda v: np.minimum(v, 1 - v).mean()  # noqa: E731
+        assert dist(hard) < dist(soft)
+
+    def test_threshold_shifts_crossover(self):
+        x = np.linspace(0, 1, 101)
+        lo = tanh_projection(tensor(x), 0.3, beta=30.0).data
+        hi = tanh_projection(tensor(x), 0.7, beta=30.0).data
+        cross = lambda v: np.argmin(np.abs(v - 0.5))  # noqa: E731
+        assert cross(lo) < cross(hi)
+
+    def test_grad_wrt_x(self):
+        check_grad(
+            lambda t: tanh_projection(t, 0.5, beta=5.0).sum(),
+            np.linspace(0.1, 0.9, 9),
+        )
+
+    def test_grad_wrt_eta(self):
+        x = np.linspace(0.1, 0.9, 9)
+        check_grad(
+            lambda e: tanh_projection(tensor(x), e, beta=5.0).sum(),
+            np.array([0.45]),
+        )
+
+    def test_spatially_varying_eta(self):
+        x = tensor(np.full((4, 4), 0.5))
+        eta = np.full((4, 4), 0.4)
+        eta[0, 0] = 0.6
+        out = tanh_projection(x, tensor(eta), beta=30.0).data
+        assert out[0, 0] < 0.5 < out[1, 1]
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            tanh_projection(tensor([0.5]), 0.5, beta=0.0)
+
+    @given(st.floats(0.2, 0.8), st.floats(2.0, 40.0))
+    @settings(max_examples=25, deadline=None)
+    def test_range_preserved(self, eta, beta):
+        x = tensor(np.linspace(0, 1, 21))
+        out = tanh_projection(x, eta, beta=beta).data
+        assert np.all(out >= -1e-9) and np.all(out <= 1 + 1e-9)
+
+
+class TestSTEBinarize:
+    def test_forward_is_hard(self):
+        x = tensor([0.2, 0.49, 0.51, 0.9])
+        out = ste_binarize(x, 0.5)
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 1.0, 1.0])
+
+    def test_backward_is_smooth(self):
+        x = Tensor(np.array([0.45, 0.55]), requires_grad=True)
+        ste_binarize(x, 0.5, beta=10.0).sum().backward()
+        assert np.all(x.grad > 0)  # nonzero gradient despite hard forward
+
+    def test_backward_matches_tanh_surrogate(self):
+        vals = np.array([0.3, 0.5, 0.75])
+        x1 = Tensor(vals.copy(), requires_grad=True)
+        ste_binarize(x1, 0.5, beta=8.0).sum().backward()
+        x2 = Tensor(vals.copy(), requires_grad=True)
+        tanh_projection(x2, 0.5, beta=8.0).sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, rtol=1e-10)
+
+    def test_grad_wrt_eta_nonzero(self):
+        eta = Tensor(np.array(0.5), requires_grad=True)
+        x = tensor(np.array([0.4, 0.6]))
+        ste_binarize(x, eta, beta=10.0).sum().backward()
+        assert eta.grad is not None
+        assert eta.grad != 0.0
+
+    def test_eta_grad_direction(self):
+        """Raising the threshold can only shrink the printed pattern."""
+        eta = Tensor(np.array(0.5), requires_grad=True)
+        x = tensor(np.linspace(0.1, 0.9, 17))
+        ste_binarize(x, eta, beta=10.0).sum().backward()
+        assert eta.grad < 0
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            ste_binarize(tensor([0.5]), 0.5, beta=-1.0)
+
+    def test_hard_binarize_plain(self):
+        out = hard_binarize(np.array([0.2, 0.8]), 0.5)
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+        assert out.dtype == np.float64
+
+
+class TestEOLEField:
+    @pytest.fixture(scope="class")
+    def field(self):
+        return EOLEField((32, 32), 0.05, std=0.05, correlation_length_um=0.6)
+
+    def test_n_terms(self, field):
+        assert field.n_terms == 9  # 3x3 observation grid
+
+    def test_zero_xi_zero_field(self, field):
+        out = field.field_array(np.zeros(field.n_terms))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_linearity(self, field):
+        rng = np.random.default_rng(0)
+        a, b = field.sample_xi(rng), field.sample_xi(rng)
+        fa = field.field_array(a)
+        fb = field.field_array(b)
+        np.testing.assert_allclose(
+            field.field_array(a + 2 * b), fa + 2 * fb, rtol=1e-10
+        )
+
+    def test_sample_statistics(self, field):
+        """Empirical point variance approximates std^2 (EOLE truncation
+        loses a little variance, never gains)."""
+        rng = np.random.default_rng(42)
+        samples = np.stack([field.sample_field(rng) for _ in range(300)])
+        centre_var = samples[:, 16, 16].var()
+        assert 0.3 * field.std**2 < centre_var < 1.3 * field.std**2
+
+    def test_field_is_smooth(self, field):
+        rng = np.random.default_rng(7)
+        f = field.sample_field(rng)
+        # Correlation length 0.6um = 12 cells: neighbours are similar.
+        diff = np.abs(np.diff(f, axis=0)).max()
+        assert diff < 0.3 * (np.abs(f).max() + 1e-12)
+
+    def test_grad_matches_fd(self, field):
+        rng = np.random.default_rng(3)
+        target = rng.normal(size=(32, 32))
+
+        def loss(xi):
+            return ((field.field(xi) - target) ** 2).sum()
+
+        check_grad(loss, field.sample_xi(rng), rtol=1e-4)
+
+    def test_wrong_xi_shape_raises(self, field):
+        with pytest.raises(ValueError):
+            field.field_array(np.zeros(3))
+
+    def test_zero_std_degenerates(self):
+        f = EOLEField((16, 16), 0.05, std=0.0)
+        assert f.n_terms == 0
+        np.testing.assert_allclose(f.field_array(np.zeros(0)), 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EOLEField((16, 16), 0.05, std=-1.0)
+        with pytest.raises(ValueError):
+            EOLEField((16, 16), 0.05, correlation_length_um=0.0)
+        with pytest.raises(ValueError):
+            EOLEField((16, 16), 0.05, n_points_per_axis=0)
+
+
+class TestTemperature:
+    def test_nominal_eps(self):
+        assert eps_si_of_temperature(300.0) == pytest.approx(EPS_SI)
+
+    def test_paper_formula(self):
+        # eps_Si(t) = (3.48 + 1.8e-4 (t - 300))^2  [Komma et al.]
+        assert eps_si_of_temperature(350.0) == pytest.approx(
+            (3.48 + 1.8e-4 * 50) ** 2
+        )
+
+    def test_monotone_increasing(self):
+        temps = [250.0, 300.0, 350.0]
+        values = [eps_si_of_temperature(t) for t in temps]
+        assert values == sorted(values)
+
+    def test_alpha_nominal_is_one(self):
+        assert alpha_of_temperature(300.0) == pytest.approx(1.0)
+
+    def test_alpha_reconstructs_eps(self):
+        t = 340.0
+        alpha = alpha_of_temperature(t)
+        eps = 1.0 + (EPS_SI - 1.0) * alpha
+        assert eps == pytest.approx(eps_si_of_temperature(t))
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            eps_si_of_temperature(-10.0)
+
+    def test_alpha_tensor_matches_scalar(self):
+        t = 325.0
+        assert alpha_tensor(t).item() == pytest.approx(alpha_of_temperature(t))
+
+    def test_alpha_tensor_grad(self):
+        check_grad(lambda t: alpha_tensor(t), np.array(310.0), eps=1e-3,
+                   rtol=1e-4)
+
+    def test_alpha_tensor_grad_positive(self):
+        t = Tensor(np.array(300.0), requires_grad=True)
+        alpha_tensor(t).backward()
+        assert t.grad > 0

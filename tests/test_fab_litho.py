@@ -1,0 +1,192 @@
+"""Tests for the lithography models: resolution limits, corners, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.fab.litho import AbbeLithography, GaussianLithography, default_litho_corners
+
+from tests.helpers import check_grad
+
+SHAPE = (64, 64)
+DL = 0.05
+
+
+@pytest.fixture(scope="module")
+def litho():
+    return AbbeLithography(SHAPE, DL)
+
+
+class TestKernels:
+    def test_clear_field_images_to_dose(self, litho):
+        image = litho.image_array(np.ones(SHAPE))
+        np.testing.assert_allclose(image, 1.0, rtol=1e-10)
+
+    def test_dark_field_images_to_zero(self, litho):
+        image = litho.image_array(np.zeros(SHAPE))
+        np.testing.assert_allclose(image, 0.0, atol=1e-12)
+
+    def test_dose_scales_intensity(self):
+        hot = AbbeLithography(SHAPE, DL, dose=1.1)
+        image = hot.image_array(np.ones(SHAPE))
+        np.testing.assert_allclose(image, 1.1, rtol=1e-10)
+
+    def test_defocus_preserves_clear_field(self):
+        defocused = AbbeLithography(SHAPE, DL, defocus_um=0.1)
+        image = defocused.image_array(np.ones(SHAPE))
+        np.testing.assert_allclose(image, 1.0, rtol=1e-10)
+
+    def test_intensity_nonnegative(self, litho):
+        rng = np.random.default_rng(0)
+        image = litho.image_array(rng.uniform(0, 1, SHAPE))
+        assert np.all(image >= -1e-12)
+
+    def test_cutoff_frequency(self, litho):
+        assert litho.cutoff_cycles_per_um == pytest.approx(
+            1.5 * 0.65 / 0.193
+        )
+        assert litho.min_printable_period_um() == pytest.approx(
+            0.193 / (1.5 * 0.65)
+        )
+
+    @pytest.mark.parametrize("n_source", [0, 3, 9])
+    def test_bad_source_count(self, n_source):
+        with pytest.raises(ValueError):
+            AbbeLithography(SHAPE, DL, n_source=n_source)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            AbbeLithography(SHAPE, DL, sigma=1.5)
+
+    def test_bad_dose(self):
+        with pytest.raises(ValueError):
+            AbbeLithography(SHAPE, DL, dose=0.0)
+
+
+class TestResolution:
+    """The physical core: sub-resolution features get wiped (paper Fig. 2a)."""
+
+    def _grating_contrast(self, litho, period_cells):
+        mask = np.zeros(SHAPE)
+        half = period_cells // 2
+        for start in range(0, SHAPE[1], period_cells):
+            mask[:, start : start + half] = 1.0
+        image = litho.image_array(mask)
+        centre = image[16:48, 16:48]
+        return centre.max() - centre.min()
+
+    def test_coarse_grating_survives(self, litho):
+        # 16-cell period = 0.8 um >> resolution limit (~0.2 um).
+        assert self._grating_contrast(litho, 16) > 0.5
+
+    def test_fine_grating_wiped(self, litho):
+        # 2-cell period = 0.1 um << resolution limit: contrast ~ 0.
+        assert self._grating_contrast(litho, 2) < 0.05
+
+    def test_contrast_monotone_in_period(self, litho):
+        contrasts = [self._grating_contrast(litho, p) for p in (2, 4, 8, 16)]
+        assert contrasts == sorted(contrasts)
+
+    def test_isolated_small_hole_fills_in(self, litho):
+        """A 1-cell hole in solid prints as nearly solid."""
+        mask = np.ones(SHAPE)
+        mask[32, 32] = 0.0
+        image = litho.image_array(mask)
+        assert image[32, 32] > 0.8
+
+    def test_isolated_small_dot_vanishes(self, litho):
+        mask = np.zeros(SHAPE)
+        mask[32, 32] = 1.0
+        image = litho.image_array(mask)
+        assert image[32, 32] < 0.2
+
+    def test_large_block_survives(self, litho):
+        mask = np.zeros(SHAPE)
+        mask[20:44, 20:44] = 1.0
+        image = litho.image_array(mask)
+        assert image[32, 32] > 0.9
+        assert image[4, 4] < 0.1
+
+    def test_defocus_blurs_more(self):
+        focused = AbbeLithography(SHAPE, DL)
+        defocused = AbbeLithography(SHAPE, DL, defocus_um=0.15)
+        mask = np.zeros(SHAPE)
+        mask[28:36, 28:36] = 1.0  # 0.4 um block
+        peak_focused = focused.image_array(mask)[32, 32]
+        peak_defocused = defocused.image_array(mask)[32, 32]
+        assert peak_defocused < peak_focused
+
+
+class TestGradients:
+    def test_abbe_grad_matches_fd(self, litho):
+        rng = np.random.default_rng(1)
+        target = rng.uniform(0, 1, SHAPE)
+
+        def loss(t):
+            img = litho.image(t)
+            return ((img - target) ** 2).sum()
+
+        check_grad(loss, rng.uniform(0, 1, SHAPE)[:8, :8].repeat(8, 0).repeat(8, 1),
+                   rtol=1e-3, atol=1e-6)
+
+    def test_gauss_grad_matches_fd(self):
+        gauss = GaussianLithography((16, 16), DL, blur_radius_um=0.1)
+        rng = np.random.default_rng(2)
+
+        def loss(t):
+            return (gauss.image(t) ** 2).sum()
+
+        check_grad(loss, rng.uniform(0, 1, (16, 16)), rtol=1e-4)
+
+    def test_image_requires_matching_shape(self, litho):
+        with pytest.raises(ValueError):
+            litho.image(Tensor(np.ones((8, 8))))
+        with pytest.raises(ValueError):
+            litho.image_array(np.ones((8, 8)))
+
+
+class TestGaussianLitho:
+    def test_preserves_mean(self):
+        gauss = GaussianLithography(SHAPE, DL, blur_radius_um=0.15)
+        rng = np.random.default_rng(3)
+        mask = rng.uniform(0, 1, SHAPE)
+        out = gauss.image_array(mask)
+        assert out.mean() == pytest.approx(mask.mean(), rel=1e-10)
+
+    def test_smooths(self):
+        gauss = GaussianLithography(SHAPE, DL, blur_radius_um=0.15)
+        mask = np.zeros(SHAPE)
+        mask[::2, :] = 1.0
+        out = gauss.image_array(mask)
+        assert out.std() < 0.1 * mask.std()
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            GaussianLithography(SHAPE, DL, blur_radius_um=0.0)
+
+
+class TestCorners:
+    def test_default_corner_set(self):
+        corners = default_litho_corners()
+        assert set(corners) == {"min", "nominal", "max"}
+        assert corners["nominal"].defocus_um == 0.0
+        assert corners["min"].dose < 1.0 < corners["max"].dose
+
+    def test_corner_doses_symmetric(self):
+        corners = default_litho_corners(dose_delta=0.08)
+        assert corners["min"].dose == pytest.approx(0.92)
+        assert corners["max"].dose == pytest.approx(1.08)
+
+    def test_corners_change_printed_width(self):
+        """Over/under dose bloats/shrinks a printed line."""
+        corners = default_litho_corners()
+        mask = np.zeros(SHAPE)
+        mask[:, 28:36] = 1.0  # 0.4 um line
+        widths = {}
+        for name, spec in corners.items():
+            model = AbbeLithography(
+                SHAPE, DL, defocus_um=spec.defocus_um, dose=spec.dose
+            )
+            printed = model.image_array(mask)[32] > 0.5
+            widths[name] = printed.sum()
+        assert widths["min"] <= widths["nominal"] <= widths["max"]

@@ -1,0 +1,204 @@
+"""Tests for VariationCorner / CornerSet and the composed FabricationProcess."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, tensor
+from repro.fab import CornerSet, FabricationProcess, VariationCorner
+
+from tests.helpers import check_grad
+
+DESIGN = (40, 40)
+DL = 0.05
+
+
+@pytest.fixture(scope="module")
+def process():
+    return FabricationProcess(DESIGN, DL, pad=12, eole_std=0.03)
+
+
+class TestVariationCorner:
+    def test_defaults_are_nominal(self):
+        c = VariationCorner("nominal")
+        assert c.is_nominal()
+
+    def test_non_nominal_detection(self):
+        assert not VariationCorner("x", litho="max").is_nominal()
+        assert not VariationCorner("x", temperature_k=310).is_nominal()
+        assert not VariationCorner("x", eta_shift=0.01).is_nominal()
+        assert not VariationCorner("x", xi=np.array([1.0])).is_nominal()
+
+    def test_zero_xi_still_nominal(self):
+        assert VariationCorner("x", xi=np.zeros(3)).is_nominal()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariationCorner("x", litho="typical")
+        with pytest.raises(ValueError):
+            VariationCorner("x", temperature_k=0.0)
+        with pytest.raises(ValueError):
+            VariationCorner("x", weight=-1.0)
+
+
+class TestCornerSet:
+    def test_nominal_only(self):
+        cs = CornerSet.nominal_only()
+        assert len(cs) == 1
+        assert cs.corners[0].is_nominal()
+
+    def test_axial_has_seven(self):
+        cs = CornerSet.axial()
+        assert len(cs) == 7
+        names = [c.name for c in cs]
+        assert "nominal" in names
+        assert "litho-min" in names and "litho-max" in names
+
+    def test_axial_without_nominal(self):
+        assert len(CornerSet.axial(include_nominal=False)) == 6
+
+    def test_single_sided_has_four(self):
+        cs = CornerSet.single_sided_axial()
+        assert len(cs) == 4
+        # Single-sided: no "-min" corners at all.
+        assert not any(c.name.endswith("-min") for c in cs)
+
+    def test_exhaustive_has_27(self):
+        cs = CornerSet.exhaustive()
+        assert len(cs) == 27
+        nominal = [c for c in cs if c.is_nominal()]
+        assert len(nominal) == 1
+
+    def test_random_reproducible(self):
+        a = CornerSet.random(np.random.default_rng(0), 5)
+        b = CornerSet.random(np.random.default_rng(0), 5)
+        for ca, cb in zip(a, b):
+            assert ca.temperature_k == cb.temperature_k
+            assert ca.litho == cb.litho
+
+    def test_random_with_xi(self):
+        cs = CornerSet.random(np.random.default_rng(1), 3, n_xi=9)
+        assert all(c.xi is not None and c.xi.shape == (9,) for c in cs)
+
+    def test_random_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            CornerSet.random(np.random.default_rng(0), 0)
+
+    def test_total_weight(self):
+        cs = CornerSet.axial()
+        assert cs.total_weight == pytest.approx(7.0)
+
+
+class TestFabricationProcess:
+    def test_output_binary_with_ste(self, process):
+        rng = np.random.default_rng(0)
+        rho = rng.uniform(0, 1, DESIGN)
+        out = process.apply_array(rho, VariationCorner("nominal"))
+        assert set(np.unique(np.round(out, 12))) <= {0.0, 1.0}
+
+    def test_temperature_scales_pattern(self, process):
+        rho = np.ones(DESIGN)
+        hot = process.apply_array(rho, VariationCorner("hot", temperature_k=350))
+        nom = process.apply_array(rho, VariationCorner("nominal"))
+        solid = nom > 0.5
+        assert np.all(hot[solid] > nom[solid])
+
+    def test_fine_features_removed(self, process):
+        """The heart of Fig. 2(a): a checkerboard cannot be printed."""
+        rho = np.indices(DESIGN).sum(axis=0) % 2.0
+        out = process.apply_array(rho, VariationCorner("nominal"))
+        # Checkerboard has 50% fill; printed pattern collapses to ~all-or-none.
+        fill = out.mean()
+        assert fill < 0.05 or fill > 0.95
+
+    def test_large_block_survives(self, process):
+        rho = np.zeros(DESIGN)
+        rho[10:30, 10:30] = 1.0
+        out = process.apply_array(rho, VariationCorner("nominal"))
+        assert out[20, 20] == 1.0
+        assert out[2, 2] == 0.0
+
+    def test_eta_shift_changes_fill(self, process):
+        rho = np.zeros(DESIGN)
+        rho[10:30, 10:30] = 1.0
+        over = process.apply_array(rho, VariationCorner("o", eta_shift=-0.2))
+        under = process.apply_array(rho, VariationCorner("u", eta_shift=+0.2))
+        assert over.sum() >= under.sum()
+
+    def test_autodiff_and_array_paths_agree(self, process):
+        rng = np.random.default_rng(5)
+        rho = rng.uniform(0, 1, DESIGN)
+        corner = VariationCorner("c", litho="max", temperature_k=320.0,
+                                 eta_shift=0.01)
+        out_ad = process.apply(tensor(rho), corner).data
+        out_np = process.apply_array(rho, corner)
+        np.testing.assert_allclose(out_ad, out_np, atol=1e-12)
+
+    def test_gradient_flows_to_pattern(self, process):
+        rho = Tensor(np.full(DESIGN, 0.5), requires_grad=True)
+        out = process.apply(rho, VariationCorner("nominal"))
+        out.sum().backward()
+        assert rho.grad is not None
+        assert np.any(rho.grad != 0)
+
+    def test_gradient_wrt_temperature(self, process):
+        rho = tensor(np.ones(DESIGN))
+        t = Tensor(np.array(300.0), requires_grad=True)
+        out = process.apply(rho, VariationCorner("nominal"), temperature=t)
+        out.sum().backward()
+        assert t.grad is not None and t.grad > 0
+
+    def test_gradient_wrt_xi(self, process):
+        rho = tensor(np.full(DESIGN, 0.6))
+        xi = Tensor(np.zeros(process.eole.n_terms), requires_grad=True)
+        corner = VariationCorner("nominal")
+        out = process.apply(rho, corner, xi=xi)
+        out.sum().backward()
+        assert xi.grad is not None
+
+    def test_context_influences_boundary(self):
+        """Solid context bleeds into the design edge through diffraction."""
+        nx, ny = DESIGN
+        pad = 12
+        context = np.zeros((nx + 2 * pad, ny + 2 * pad))
+        context[: pad, :] = 1.0  # solid slab west of the design region
+        p_ctx = FabricationProcess(DESIGN, DL, context=context, pad=pad)
+        p_empty = FabricationProcess(DESIGN, DL, pad=pad)
+        rho = np.zeros(DESIGN)
+        img_ctx = p_ctx.post_litho_array(rho)
+        img_empty = p_empty.post_litho_array(rho)
+        assert img_ctx[0].max() > img_empty[0].max() + 0.1
+
+    def test_context_validation(self):
+        nx, ny = DESIGN
+        pad = 12
+        bad_shape = np.zeros((nx, ny))
+        with pytest.raises(ValueError):
+            FabricationProcess(DESIGN, DL, context=bad_shape, pad=pad)
+        overlapping = np.ones((nx + 2 * pad, ny + 2 * pad))
+        with pytest.raises(ValueError):
+            FabricationProcess(DESIGN, DL, context=overlapping, pad=pad)
+
+    def test_pattern_shape_validated(self, process):
+        with pytest.raises(ValueError):
+            process.apply_array(np.ones((8, 8)), VariationCorner("nominal"))
+        with pytest.raises(ValueError):
+            process.post_litho(tensor(np.ones((8, 8))))
+
+    def test_small_pad_rejected(self):
+        with pytest.raises(ValueError):
+            FabricationProcess(DESIGN, DL, pad=2)
+
+    def test_unknown_litho_corner(self, process):
+        with pytest.raises(ValueError):
+            process.litho_model("typ")
+
+    def test_smooth_mode_differentiable_end_to_end(self):
+        proc = FabricationProcess(DESIGN, DL, pad=12, use_ste=False,
+                                  etch_beta=8.0)
+        corner = VariationCorner("nominal")
+
+        def loss(rho):
+            return (proc.apply(rho, corner) ** 2).sum()
+
+        rng = np.random.default_rng(11)
+        check_grad(loss, rng.uniform(0.3, 0.7, DESIGN), rtol=5e-3, atol=1e-6)

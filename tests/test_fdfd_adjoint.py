@@ -1,0 +1,151 @@
+"""Adjoint-gradient validation: the central correctness property.
+
+Every inverse-design result in the reproduction rests on
+``PortPowerProblem.grad_eps`` agreeing with finite differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fdfd import SimGrid, PortSpec, PortPowerProblem
+from repro.utils.constants import omega_from_wavelength, EPS_SI
+
+OMEGA = omega_from_wavelength(1.55)
+
+
+def make_problem():
+    """Straight waveguide with an output port and a reflection port."""
+    g = SimGrid((120, 80), dl=0.05, npml=10)
+    eps = np.ones(g.shape)
+    yc = g.ny // 2
+    eps[:, yc - 4 : yc + 4] = EPS_SI
+    yc_um = (yc + 0.5) * g.dl
+    ports = [
+        PortSpec("out", "x", 90 * g.dl, yc_um, 2.0),
+        PortSpec("refl", "x", 25 * g.dl, yc_um, 2.0, subtract_incident=True),
+    ]
+    source = PortSpec("src", "x", 20 * g.dl, yc_um, 2.0)
+    problem = PortPowerProblem(g, OMEGA, ports, source)
+    return g, eps, problem
+
+
+class TestPortSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PortSpec("p", "z", 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PortSpec("p", "x", 1.0, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            PortSpec("p", "x", 1.0, 1.0, 1.0, mode_order=0)
+
+    def test_duplicate_port_names_raise(self):
+        g = SimGrid((40, 40), dl=0.1, npml=5)
+        p = PortSpec("a", "x", 1.0, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            PortPowerProblem(g, OMEGA, [p, p], p)
+
+
+class TestForwardSolve:
+    def test_transmission_near_unity(self):
+        g, eps, problem = make_problem()
+        sol = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        # Calibrate against itself: straight guide transmits everything.
+        p_in = sol.raw_powers["out"]
+        assert p_in > 0
+        t = sol.normalized_powers(p_in)["out"]
+        assert t == pytest.approx(1.0)
+
+    def test_reflection_with_subtraction_is_small(self):
+        g, eps, problem = make_problem()
+        # Incident field = the unperturbed solve itself.
+        sol0 = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        sol = problem.solve(eps, incident_ez=sol0.fields.ez)
+        refl = sol.raw_powers["refl"] / sol0.raw_powers["out"]
+        assert refl < 1e-6
+
+    def test_reflection_from_air_gap(self):
+        """An air gap cutting the guide reflects strongly, transmits little."""
+        g, eps, problem = make_problem()
+        sol0 = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        yc = g.ny // 2
+        gapped = eps.copy()
+        gapped[58:66, yc - 4 : yc + 4] = 1.0  # 0.4 um air gap
+        sol = problem.solve(gapped, incident_ez=sol0.fields.ez)
+        p_in = sol0.raw_powers["out"]
+        assert sol.raw_powers["out"] / p_in < 0.3
+        assert sol.raw_powers["refl"] / p_in > 0.3
+
+    def test_missing_incident_raises(self):
+        g, eps, problem = make_problem()
+        with pytest.raises(ValueError):
+            problem.solve(eps)
+
+    def test_normalized_powers_validates_input_power(self):
+        g, eps, problem = make_problem()
+        sol = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        with pytest.raises(ValueError):
+            sol.normalized_powers(0.0)
+
+
+class TestAdjointGradient:
+    @pytest.mark.parametrize("cell", [(55, 40), (60, 36), (65, 44)])
+    def test_matches_finite_difference_single_port(self, cell):
+        g, eps, problem = make_problem()
+        zeros = np.zeros(g.shape)
+        sol = problem.solve(eps, incident_ez=zeros)
+        grad = problem.grad_eps(sol, {"out": 1.0})
+        ix, iy = cell
+        d = 1e-5
+        eps2 = eps.copy()
+        eps2[ix, iy] += d
+        p1 = problem.solve(eps2, incident_ez=zeros).raw_powers["out"]
+        fd = (p1 - sol.raw_powers["out"]) / d
+        assert grad[ix, iy] == pytest.approx(fd, rel=2e-2, abs=1e-14)
+
+    def test_matches_fd_with_mixed_cotangents(self):
+        """Weighted multi-port objective: grad of 2*P_out - 3*P_refl."""
+        g, eps, problem = make_problem()
+        # Put a scatterer in the path so reflection is non-trivial.
+        eps_s = eps.copy()
+        eps_s[58:61, 38:42] = 6.0
+        sol0 = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        incident = sol0.fields.ez
+        sol = problem.solve(eps_s, incident_ez=incident)
+        cot = {"out": 2.0, "refl": -3.0}
+        grad = problem.grad_eps(sol, cot)
+
+        def objective(e):
+            s = problem.solve(e, incident_ez=incident)
+            return 2.0 * s.raw_powers["out"] - 3.0 * s.raw_powers["refl"]
+
+        ix, iy = 59, 40
+        d = 1e-5
+        eps_p = eps_s.copy()
+        eps_p[ix, iy] += d
+        eps_m = eps_s.copy()
+        eps_m[ix, iy] -= d
+        fd = (objective(eps_p) - objective(eps_m)) / (2 * d)
+        assert grad[ix, iy] == pytest.approx(fd, rel=2e-2)
+
+    def test_input_power_scaling(self):
+        g, eps, problem = make_problem()
+        sol = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        g1 = problem.grad_eps(sol, {"out": 1.0}, input_power=1.0)
+        g2 = problem.grad_eps(sol, {"out": 1.0}, input_power=4.0)
+        np.testing.assert_allclose(g2, g1 / 4.0, rtol=1e-12)
+
+    def test_zero_cotangent_zero_grad(self):
+        g, eps, problem = make_problem()
+        sol = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        grad = problem.grad_eps(sol, {})
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_gradient_localized_near_guide(self):
+        """Permittivity far from the guide barely matters."""
+        g, eps, problem = make_problem()
+        sol = problem.solve(eps, incident_ez=np.zeros(g.shape))
+        grad = np.abs(problem.grad_eps(sol, {"out": 1.0}))
+        yc = g.ny // 2
+        near = grad[60, yc - 6 : yc + 6].max()
+        far = grad[60, yc + 25 : yc + 30].max()
+        assert far < 0.05 * near

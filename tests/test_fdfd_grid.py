@@ -1,0 +1,90 @@
+"""Unit tests for SimGrid geometry helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fdfd import SimGrid
+
+
+class TestConstruction:
+    def test_valid(self):
+        g = SimGrid((100, 80), dl=0.05, npml=10)
+        assert g.nx == 100 and g.ny == 80
+        assert g.n_cells == 8000
+
+    @pytest.mark.parametrize(
+        "shape,dl,npml",
+        [
+            ((0, 10), 0.05, 2),
+            ((10, -1), 0.05, 2),
+            ((10, 10), 0.0, 2),
+            ((10, 10), -0.1, 2),
+            ((10, 10), 0.05, -1),
+            ((10, 10), 0.05, 5),  # PML swallows grid
+        ],
+    )
+    def test_invalid(self, shape, dl, npml):
+        with pytest.raises(ValueError):
+            SimGrid(shape, dl=dl, npml=npml)
+
+    def test_extent(self):
+        g = SimGrid((100, 80), dl=0.05)
+        assert g.extent_um == (5.0, 4.0)
+
+    def test_frozen(self):
+        g = SimGrid((10, 10), dl=0.1, npml=2)
+        with pytest.raises(Exception):
+            g.dl = 0.2
+
+
+class TestCoordinates:
+    def test_cell_centres(self):
+        g = SimGrid((4, 4), dl=1.0, npml=1)
+        np.testing.assert_allclose(g.x_coords(), [0.5, 1.5, 2.5, 3.5])
+
+    def test_meshgrid_shapes(self):
+        g = SimGrid((6, 4), dl=0.5, npml=1)
+        X, Y = g.meshgrid()
+        assert X.shape == (6, 4) and Y.shape == (6, 4)
+        assert X[1, 0] == pytest.approx(0.75)
+        assert Y[0, 1] == pytest.approx(0.75)
+
+    def test_index_roundtrip(self):
+        g = SimGrid((50, 50), dl=0.04, npml=5)
+        for i in [0, 7, 23, 49]:
+            assert g.index_of_x(g.x_coords()[i]) == i
+            assert g.index_of_y(g.y_coords()[i]) == i
+
+    def test_index_clamps(self):
+        g = SimGrid((10, 10), dl=0.1, npml=2)
+        assert g.index_of_x(-5.0) == 0
+        assert g.index_of_x(100.0) == 9
+
+    def test_slice_covers_range(self):
+        g = SimGrid((100, 100), dl=0.05, npml=5)
+        sl = g.slice_of_y_range(1.0, 2.0)
+        cells = g.y_coords()[sl]
+        assert cells[0] >= 1.0 - g.dl
+        assert cells[-1] <= 2.0 + g.dl
+        assert len(cells) == pytest.approx(1.0 / g.dl, abs=1)
+
+    def test_empty_range_raises(self):
+        g = SimGrid((10, 10), dl=0.1, npml=2)
+        with pytest.raises(ValueError):
+            g.slice_of_x_range(1.0, 1.0)
+
+    def test_interior_mask(self):
+        g = SimGrid((10, 12), dl=0.1, npml=3)
+        mask = g.interior_mask()
+        assert mask.shape == (10, 12)
+        assert mask[5, 6]
+        assert not mask[0, 0]
+        assert not mask[2, 6]
+        assert mask.sum() == (10 - 6) * (12 - 6)
+
+    @given(st.integers(12, 60), st.integers(12, 60), st.integers(0, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_interior_mask_count(self, nx, ny, npml):
+        g = SimGrid((nx, ny), dl=0.1, npml=npml)
+        assert g.interior_mask().sum() == (nx - 2 * npml) * (ny - 2 * npml)

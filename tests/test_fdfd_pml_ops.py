@@ -1,0 +1,120 @@
+"""Tests for PML stretch factors and sparse derivative operators."""
+
+import numpy as np
+import pytest
+
+from repro.fdfd import SimGrid, PMLSpec, stretch_factors
+from repro.fdfd.operators import build_derivative_ops, first_diff_1d
+from repro.fdfd.pml import sigma_profile
+from repro.utils.constants import omega_from_wavelength
+
+OMEGA = omega_from_wavelength(1.55)
+
+
+class TestSigmaProfile:
+    def test_zero_in_interior(self):
+        sig = sigma_profile(50, 8, 0.05, PMLSpec(), half_shift=False)
+        assert np.all(sig[10:40] == 0.0)
+
+    def test_positive_in_layers(self):
+        sig = sigma_profile(50, 8, 0.05, PMLSpec(), half_shift=False)
+        assert sig[0] > 0 and sig[-1] > 0
+
+    def test_monotone_into_layer(self):
+        sig = sigma_profile(50, 8, 0.05, PMLSpec(), half_shift=False)
+        assert np.all(np.diff(sig[:8]) <= 0)
+        assert np.all(np.diff(sig[-8:]) >= 0)
+
+    def test_no_pml_all_zero(self):
+        sig = sigma_profile(30, 0, 0.05, PMLSpec(), half_shift=True)
+        assert np.all(sig == 0)
+
+    def test_symmetry(self):
+        sig = sigma_profile(41, 6, 0.05, PMLSpec(), half_shift=False)
+        np.testing.assert_allclose(sig, sig[::-1])
+
+
+class TestStretchFactors:
+    def test_unity_in_interior(self):
+        s_int, s_half = stretch_factors(60, 10, 0.05, OMEGA)
+        np.testing.assert_allclose(s_int[15:45], 1.0)
+        np.testing.assert_allclose(s_half[15:45], 1.0)
+
+    def test_negative_imag_in_layer(self):
+        s_int, _ = stretch_factors(60, 10, 0.05, OMEGA)
+        assert s_int[0].imag < 0
+        assert s_int[-1].imag < 0
+
+    def test_sigma_max_scales_with_thickness(self):
+        spec = PMLSpec()
+        assert spec.sigma_max(0.5) > spec.sigma_max(1.0)
+        assert spec.sigma_max(0.0) == 0.0
+
+
+class TestFirstDiff:
+    def test_forward_on_linear(self):
+        d = first_diff_1d(10, 0.5, forward=True)
+        u = np.arange(10.0) * 0.5
+        out = d @ u
+        np.testing.assert_allclose(out[:-1], 1.0)
+
+    def test_backward_on_linear(self):
+        d = first_diff_1d(10, 0.5, forward=False)
+        u = np.arange(10.0) * 0.5
+        out = d @ u
+        np.testing.assert_allclose(out[1:], 1.0)
+
+    def test_second_difference(self):
+        n, dl = 12, 0.3
+        df = first_diff_1d(n, dl, forward=True)
+        db = first_diff_1d(n, dl, forward=False)
+        u = (np.arange(n) * dl) ** 2
+        lap = (db @ (df @ u))[1:-1]
+        np.testing.assert_allclose(lap, 2.0, rtol=1e-10)
+
+    def test_adjoint_relation(self):
+        # Dxb = -Dxf^T for Dirichlet boundaries — the property that makes
+        # the Helmholtz matrix symmetric without PML.
+        n = 8
+        df = first_diff_1d(n, 0.1, forward=True).toarray()
+        db = first_diff_1d(n, 0.1, forward=False).toarray()
+        np.testing.assert_allclose(db, -df.T)
+
+
+class TestDerivativeOps2D:
+    def test_shapes(self):
+        g = SimGrid((12, 9), dl=0.1, npml=2)
+        ops = build_derivative_ops(g, OMEGA)
+        for key in ("dxf", "dxb", "dyf", "dyb"):
+            assert ops[key].shape == (g.n_cells, g.n_cells)
+
+    def test_dx_acts_on_x_only(self):
+        # The PML stretch rescales derivatives inside the absorbing layer,
+        # so the exact-derivative check applies to the interior only.
+        g = SimGrid((10, 10), dl=0.2, npml=2)
+        ops = build_derivative_ops(g, OMEGA)
+        X, Y = g.meshgrid()
+        out = (ops["dxf"] @ X.ravel()).reshape(g.shape)
+        np.testing.assert_allclose(out[2:-3, 2:-2], 1.0, rtol=1e-10)
+        out_y = (ops["dxf"] @ Y.ravel()).reshape(g.shape)
+        np.testing.assert_allclose(out_y[:-1, :], 0.0, atol=1e-12)
+
+    def test_dy_acts_on_y_only(self):
+        g = SimGrid((10, 10), dl=0.2, npml=2)
+        ops = build_derivative_ops(g, OMEGA)
+        X, Y = g.meshgrid()
+        out = (ops["dyf"] @ Y.ravel()).reshape(g.shape)
+        np.testing.assert_allclose(out[2:-2, 2:-3], 1.0, rtol=1e-10)
+
+    def test_laplacian_of_quadratic_interior(self):
+        g = SimGrid((16, 16), dl=0.1, npml=3)
+        ops = build_derivative_ops(g, OMEGA)
+        X, Y = g.meshgrid()
+        u = X**2 + 2 * Y**2
+        lap = (
+            ops["dxb"] @ (ops["dxf"] @ u.ravel())
+            + ops["dyb"] @ (ops["dyf"] @ u.ravel())
+        ).reshape(g.shape)
+        interior = lap[4:-4, 4:-4]
+        np.testing.assert_allclose(interior.real, 6.0, rtol=1e-9)
+        np.testing.assert_allclose(interior.imag, 0.0, atol=1e-9)

@@ -1,0 +1,250 @@
+"""Physics validation of the Helmholtz solver, modes, sources, monitors.
+
+These are the load-bearing tests of the electromagnetic substrate: PML
+absorption, waveguide transmission, energy conservation, and modal
+normalization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fdfd import (
+    SimGrid,
+    HelmholtzSolver,
+    SlabModeSolver,
+    ModeLineSource,
+    ModeOverlapMonitor,
+    poynting_flux_x,
+    poynting_flux_y,
+)
+from repro.fdfd.sources import point_source
+from repro.utils.constants import omega_from_wavelength, EPS_SI
+
+OMEGA = omega_from_wavelength(1.55)
+
+
+@pytest.fixture(scope="module")
+def vacuum_point():
+    g = SimGrid((100, 100), dl=0.05, npml=12)
+    eps = np.ones(g.shape)
+    fields = HelmholtzSolver(g, eps, OMEGA).solve(point_source(g, 50, 50))
+    return g, fields
+
+
+@pytest.fixture(scope="module")
+def straight_waveguide():
+    """0.4 um Si waveguide along x with fundamental-mode excitation."""
+    g = SimGrid((140, 90), dl=0.05, npml=12)
+    eps = np.ones(g.shape)
+    yc = g.ny // 2
+    eps[:, yc - 4 : yc + 4] = EPS_SI
+    span = slice(20, 70)
+    mode = SlabModeSolver(eps[0, span], g.dl, OMEGA).mode(1)
+    source = ModeLineSource(g, "x", 25, span, mode)
+    fields = HelmholtzSolver(g, eps, OMEGA).solve(source.current())
+    return g, eps, span, mode, fields
+
+
+class TestSolverBasics:
+    def test_shape_mismatch_raises(self):
+        g = SimGrid((20, 20), dl=0.1, npml=3)
+        with pytest.raises(ValueError):
+            HelmholtzSolver(g, np.ones((10, 10)), OMEGA)
+
+    def test_bad_omega_raises(self):
+        g = SimGrid((20, 20), dl=0.1, npml=3)
+        with pytest.raises(ValueError):
+            HelmholtzSolver(g, np.ones(g.shape), 0.0)
+
+    def test_source_shape_mismatch_raises(self):
+        g = SimGrid((20, 20), dl=0.1, npml=3)
+        s = HelmholtzSolver(g, np.ones(g.shape), OMEGA)
+        with pytest.raises(ValueError):
+            s.solve(np.zeros((5, 5)))
+
+    def test_zero_source_zero_field(self):
+        g = SimGrid((20, 20), dl=0.1, npml=3)
+        s = HelmholtzSolver(g, np.ones(g.shape), OMEGA)
+        f = s.solve(np.zeros(g.shape, dtype=complex))
+        assert np.allclose(f.ez, 0.0)
+
+    def test_linearity_in_source(self):
+        g = SimGrid((30, 30), dl=0.1, npml=4)
+        s = HelmholtzSolver(g, np.ones(g.shape), OMEGA)
+        f1 = s.solve(point_source(g, 15, 15))
+        f2 = s.solve(point_source(g, 15, 15, amplitude=2.5))
+        np.testing.assert_allclose(f2.ez, 2.5 * f1.ez, rtol=1e-10)
+
+    def test_transposed_solve_consistency(self):
+        g = SimGrid((25, 25), dl=0.1, npml=4)
+        s = HelmholtzSolver(g, np.ones(g.shape), OMEGA)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=g.n_cells) + 1j * rng.normal(size=g.n_cells)
+        y = s.solve_transposed(x)
+        # A^T y = x  <=>  y^T A = x^T
+        residual = s.system_matrix.T @ y - x
+        assert np.linalg.norm(residual) / np.linalg.norm(x) < 1e-10
+
+
+class TestPML:
+    def test_absorbs_outgoing_wave(self, vacuum_point):
+        g, f = vacuum_point
+        center = np.abs(f.ez[52, 50])
+        edge = np.abs(f.ez[1, 50])
+        assert edge < 1e-2 * center
+
+    def test_field_decays_monotonically_through_layer(self, vacuum_point):
+        g, f = vacuum_point
+        # Sample |E| along the left PML at mid-height.
+        profile = np.abs(f.ez[:12, 50])
+        assert profile[0] < profile[-1]
+
+    def test_energy_conservation_in_vacuum(self, vacuum_point):
+        """Flux through two concentric boxes around the source agrees."""
+        g, f = vacuum_point
+
+        def box_flux(half):
+            c = 50
+            span_y = slice(c - half, c + half)
+            span_x = slice(c - half, c + half)
+            out = poynting_flux_x(f, c + half, span_y, g.dl)
+            out -= poynting_flux_x(f, c - half, span_y, g.dl)
+            out += poynting_flux_y(f, c + half, span_x, g.dl)
+            out -= poynting_flux_y(f, c - half, span_x, g.dl)
+            return out
+
+        f1, f2 = box_flux(15), box_flux(30)
+        assert f1 > 0
+        assert abs(f1 - f2) / f1 < 0.02
+
+
+class TestModeSolver:
+    def test_single_mode_narrow_guide(self):
+        eps = np.ones(60)
+        eps[27:33] = EPS_SI  # 0.3 um at dl=0.05
+        modes = SlabModeSolver(eps, 0.05, OMEGA).solve(4)
+        assert len(modes) >= 1
+        assert 1.0 < modes[0].n_eff < np.sqrt(EPS_SI)
+
+    def test_wide_guide_multimode(self):
+        eps = np.ones(100)
+        eps[30:70] = EPS_SI  # 2 um guide
+        modes = SlabModeSolver(eps, 0.05, OMEGA).solve(4)
+        assert len(modes) >= 3
+        # Ordered by decreasing effective index.
+        neffs = [m.n_eff for m in modes]
+        assert neffs == sorted(neffs, reverse=True)
+
+    def test_mode_profiles_orthonormal(self):
+        eps = np.ones(100)
+        eps[30:70] = EPS_SI
+        modes = SlabModeSolver(eps, 0.05, OMEGA).solve(3)
+        for i, mi in enumerate(modes):
+            for j, mj in enumerate(modes):
+                ip = np.sum(mi.profile * mj.profile) * 0.05
+                assert ip == pytest.approx(1.0 if i == j else 0.0, abs=1e-8)
+
+    def test_mode_node_counts(self):
+        """Mode k has k-1 sign changes (slab mode structure)."""
+        eps = np.ones(120)
+        eps[35:85] = EPS_SI
+        modes = SlabModeSolver(eps, 0.05, OMEGA).solve(3)
+        for k, m in enumerate(modes, start=1):
+            core = m.profile[30:90]
+            signs = np.sign(core[np.abs(core) > np.abs(core).max() * 0.05])
+            changes = np.sum(signs[1:] != signs[:-1])
+            assert changes == k - 1
+
+    def test_mode_accessor_1based(self):
+        eps = np.ones(80)
+        eps[30:50] = EPS_SI
+        solver = SlabModeSolver(eps, 0.05, OMEGA)
+        assert solver.mode(1).order == 1
+        with pytest.raises(ValueError):
+            solver.mode(0)
+
+    def test_unguided_request_raises(self):
+        eps = np.ones(60)
+        eps[28:32] = EPS_SI  # 0.2 um: guides at most ~1 mode
+        with pytest.raises(ValueError):
+            SlabModeSolver(eps, 0.05, OMEGA).mode(4)
+
+    def test_short_section_raises(self):
+        with pytest.raises(ValueError):
+            SlabModeSolver(np.ones(2), 0.05, OMEGA)
+
+    def test_power_of_amplitude(self):
+        eps = np.ones(60)
+        eps[27:33] = EPS_SI
+        m = SlabModeSolver(eps, 0.05, OMEGA).mode(1)
+        assert m.power_of_amplitude(1.0) == pytest.approx(m.beta / (2 * OMEGA))
+        assert m.power_of_amplitude(2.0) == pytest.approx(4 * m.beta / (2 * OMEGA))
+
+
+class TestWaveguideTransmission:
+    def test_symmetric_launch(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        fwd = ModeOverlapMonitor(g, "x", 100, span, mode).power(fields.ez)
+        bwd = ModeOverlapMonitor(g, "x", 18, span, mode).power(fields.ez)
+        assert fwd == pytest.approx(bwd, rel=0.01)
+
+    def test_mode_power_matches_flux(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        p_mode = ModeOverlapMonitor(g, "x", 100, span, mode).power(fields.ez)
+        p_flux = poynting_flux_x(fields, 100, span, g.dl)
+        assert p_flux > 0
+        assert p_mode == pytest.approx(p_flux, rel=0.1)
+
+    def test_no_loss_along_guide(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        p1 = ModeOverlapMonitor(g, "x", 60, span, mode).power(fields.ez)
+        p2 = ModeOverlapMonitor(g, "x", 110, span, mode).power(fields.ez)
+        assert p2 == pytest.approx(p1, rel=0.02)
+
+    def test_backward_flux_negative(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        assert poynting_flux_x(fields, 18, span, g.dl) < 0
+
+    def test_field_confined_to_guide(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        yc = g.ny // 2
+        on_axis = np.abs(fields.ez[100, yc])
+        off_axis = np.abs(fields.ez[100, yc + 25])
+        assert off_axis < 0.05 * on_axis
+
+
+class TestSourceAndMonitorValidation:
+    def test_source_span_mismatch_raises(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        with pytest.raises(ValueError):
+            ModeLineSource(g, "x", 25, slice(0, 10), mode)
+
+    def test_bad_axis_raises(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        with pytest.raises(ValueError):
+            ModeLineSource(g, "z", 25, span, mode)
+        with pytest.raises(ValueError):
+            ModeOverlapMonitor(g, "z", 25, span, mode)
+
+    def test_monitor_weight_vector_is_linear_functional(self, straight_waveguide):
+        g, eps, span, mode, fields = straight_waveguide
+        mon = ModeOverlapMonitor(g, "x", 100, span, mode)
+        w = mon.weight_vector()
+        a_direct = mon.amplitude(fields.ez)
+        a_w = np.dot(w, fields.ez.ravel())
+        assert a_direct == pytest.approx(a_w)
+
+    def test_y_axis_monitor(self):
+        """A vertical waveguide measured with a 'y'-axis monitor."""
+        g = SimGrid((90, 140), dl=0.05, npml=12)
+        eps = np.ones(g.shape)
+        xc = g.nx // 2
+        eps[xc - 4 : xc + 4, :] = EPS_SI
+        span = slice(20, 70)
+        mode = SlabModeSolver(eps[span, 0], g.dl, OMEGA).mode(1)
+        src = ModeLineSource(g, "y", 25, span, mode)
+        fields = HelmholtzSolver(g, eps, OMEGA).solve(src.current())
+        p = ModeOverlapMonitor(g, "y", 100, span, mode).power(fields.ez)
+        flux = poynting_flux_y(fields, 100, span, g.dl)
+        assert p > 0
+        assert p == pytest.approx(flux, rel=0.1)

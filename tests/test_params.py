@@ -1,0 +1,259 @@
+"""Tests for the level-set / density parameterizations and initializers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, tensor
+from repro.params import (
+    DensityParameterization,
+    LevelSetParameterization,
+    PathSegment,
+    heaviside_ste,
+    random_theta,
+    rasterize_segments,
+    signed_distance,
+    smooth_heaviside,
+    theta_from_pattern,
+)
+
+from tests.helpers import check_grad
+
+DESIGN = (32, 32)
+DL = 0.05
+
+
+class TestHeaviside:
+    def test_smooth_range(self):
+        out = smooth_heaviside(tensor(np.linspace(-5, 5, 21)), beta=2.0)
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+        assert out.data[0] < 0.01 and out.data[-1] > 0.99
+
+    def test_smooth_grad(self):
+        check_grad(
+            lambda t: smooth_heaviside(t, beta=3.0).sum(),
+            np.linspace(-1, 1, 7),
+        )
+
+    def test_ste_forward_binary(self):
+        out = heaviside_ste(tensor([-0.5, -0.0001, 0.0001, 2.0]), beta=2.0)
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 1.0, 1.0])
+
+    def test_ste_backward_smooth(self):
+        phi = Tensor(np.array([-0.1, 0.1]), requires_grad=True)
+        heaviside_ste(phi, beta=2.0).sum().backward()
+        assert np.all(phi.grad > 0)
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            smooth_heaviside(tensor([0.0]), beta=0.0)
+        with pytest.raises(ValueError):
+            heaviside_ste(tensor([0.0]), beta=-2.0)
+
+
+class TestLevelSet:
+    def test_default_knots_half_resolution(self):
+        ls = LevelSetParameterization(DESIGN)
+        assert ls.knot_shape == (16, 16)
+        assert ls.n_parameters == 256
+
+    def test_pattern_binary_when_hard(self):
+        ls = LevelSetParameterization(DESIGN, hard=True)
+        rng = np.random.default_rng(0)
+        rho = ls.pattern(tensor(rng.normal(size=ls.knot_shape))).data
+        assert set(np.unique(rho)) <= {0.0, 1.0}
+
+    def test_pattern_smooth_when_soft(self):
+        ls = LevelSetParameterization(DESIGN, hard=False, beta=1.0)
+        rng = np.random.default_rng(0)
+        rho = ls.pattern(tensor(rng.normal(size=ls.knot_shape))).data
+        assert np.any((rho > 0.05) & (rho < 0.95))
+
+    def test_positive_theta_gives_solid(self):
+        ls = LevelSetParameterization(DESIGN)
+        rho = ls.pattern(tensor(np.ones(ls.knot_shape))).data
+        np.testing.assert_allclose(rho, 1.0)
+
+    def test_gradient_flows_hard(self):
+        ls = LevelSetParameterization(DESIGN, hard=True)
+        theta = Tensor(np.zeros(ls.knot_shape) + 0.01, requires_grad=True)
+        ls.pattern(theta).sum().backward()
+        assert theta.grad is not None
+        assert np.any(theta.grad != 0)
+
+    def test_gradient_matches_fd_soft(self):
+        ls = LevelSetParameterization((12, 12), knot_shape=(4, 4), hard=False)
+        rng = np.random.default_rng(1)
+        check_grad(
+            lambda t: (ls.pattern(t) ** 2).sum(),
+            rng.normal(size=(4, 4)),
+            rtol=1e-4,
+        )
+
+    def test_pattern_array_matches_hard_pattern(self):
+        ls = LevelSetParameterization(DESIGN, hard=True)
+        rng = np.random.default_rng(2)
+        theta = rng.normal(size=ls.knot_shape)
+        np.testing.assert_array_equal(
+            ls.pattern_array(theta), ls.pattern(tensor(theta)).data
+        )
+
+    def test_theta_from_levelset_roundtrip(self):
+        """A disc initialization decodes back to roughly a disc."""
+        ls = LevelSetParameterization(DESIGN, knot_shape=(16, 16))
+        xs = (np.arange(32) + 0.5) * DL
+        X, Y = np.meshgrid(xs, xs, indexing="ij")
+        disc = (np.hypot(X - 0.8, Y - 0.8) < 0.4).astype(float)
+        theta = ls.theta_from_levelset(signed_distance(disc, DL))
+        decoded = ls.pattern_array(theta)
+        iou = (decoded * disc).sum() / ((decoded + disc) > 0).sum()
+        assert iou > 0.75
+
+    def test_shape_validation(self):
+        ls = LevelSetParameterization(DESIGN)
+        with pytest.raises(ValueError):
+            ls.pattern(tensor(np.zeros((3, 3))))
+        with pytest.raises(ValueError):
+            ls.pattern_array(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            ls.theta_from_levelset(np.zeros((3, 3)))
+
+    def test_bad_knot_shapes(self):
+        with pytest.raises(ValueError):
+            LevelSetParameterization(DESIGN, knot_shape=(1, 8))
+        with pytest.raises(ValueError):
+            LevelSetParameterization(DESIGN, knot_shape=(64, 64))
+
+
+class TestDensity:
+    def test_plain_density_full_resolution(self):
+        d = DensityParameterization(DESIGN, DL)
+        assert d.knot_shape == DESIGN
+        assert d.name == "density"
+
+    def test_blur_variant_named_m(self):
+        d = DensityParameterization(DESIGN, DL, blur_radius_um=0.1)
+        assert d.name == "density-m"
+
+    def test_extreme_latents_binary(self):
+        d = DensityParameterization(DESIGN, DL)
+        rho_hi = d.pattern(tensor(np.full(DESIGN, 10.0))).data
+        rho_lo = d.pattern(tensor(np.full(DESIGN, -10.0))).data
+        np.testing.assert_allclose(rho_hi, 1.0, atol=1e-6)
+        np.testing.assert_allclose(rho_lo, 0.0, atol=1e-6)
+
+    def test_blur_removes_single_pixels(self):
+        plain = DensityParameterization(DESIGN, DL)
+        blurred = DensityParameterization(DESIGN, DL, blur_radius_um=0.15)
+        theta = np.full(DESIGN, -10.0)
+        theta[16, 16] = 10.0  # one hot pixel
+        assert plain.pattern_array(theta)[16, 16] == 1.0
+        assert blurred.pattern_array(theta)[16, 16] == 0.0
+
+    def test_gradient_matches_fd(self):
+        d = DensityParameterization((12, 12), DL, beta=4.0)
+        rng = np.random.default_rng(3)
+        check_grad(
+            lambda t: (d.pattern(t) ** 2).sum(),
+            rng.normal(size=(12, 12)),
+            rtol=1e-4,
+        )
+
+    def test_gradient_matches_fd_with_blur(self):
+        d = DensityParameterization((12, 12), DL, blur_radius_um=0.1, beta=4.0)
+        rng = np.random.default_rng(4)
+        check_grad(
+            lambda t: (d.pattern(t) ** 2).sum(),
+            rng.normal(size=(12, 12)),
+            rtol=1e-4,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityParameterization(DESIGN, DL, beta=0.0)
+        with pytest.raises(ValueError):
+            DensityParameterization(DESIGN, DL, blur_radius_um=0.0)
+        d = DensityParameterization(DESIGN, DL)
+        with pytest.raises(ValueError):
+            d.pattern(tensor(np.zeros((3, 3))))
+
+
+class TestInitializers:
+    def test_segment_rasterization(self):
+        seg = PathSegment((0.0, 0.8), (1.6, 0.8), width_um=0.4)
+        pattern = rasterize_segments(DESIGN, DL, [seg])
+        assert pattern[16, 16] == 1.0  # on the path
+        assert pattern[16, 30] == 0.0  # off the path
+        # Width ~ 0.4 um = 8 cells.
+        assert 6 <= pattern[16, :].sum() <= 10
+
+    def test_vertical_segment(self):
+        seg = PathSegment((0.8, 0.0), (0.8, 1.6), width_um=0.3)
+        pattern = rasterize_segments(DESIGN, DL, [seg])
+        assert pattern[16, 16] == 1.0
+        assert pattern[2, 16] == 0.0
+
+    def test_union_of_segments(self):
+        segs = [
+            PathSegment((0.0, 0.8), (1.6, 0.8), width_um=0.3),
+            PathSegment((0.8, 0.0), (0.8, 1.6), width_um=0.3),
+        ]
+        pattern = rasterize_segments(DESIGN, DL, segs)
+        assert pattern[16, 2] == 1.0 and pattern[2, 16] == 1.0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            PathSegment((0, 0), (1, 1), width_um=0.0)
+
+    def test_signed_distance_signs(self):
+        pattern = np.zeros(DESIGN)
+        pattern[10:22, 10:22] = 1.0
+        sd = signed_distance(pattern, DL)
+        assert sd[16, 16] > 0
+        assert sd[2, 2] < 0
+        # Magnitude approximates distance to the boundary in um.
+        assert sd[16, 16] == pytest.approx(6 * DL, abs=DL)
+
+    def test_signed_distance_degenerate(self):
+        assert np.all(signed_distance(np.ones(DESIGN), DL) > 0)
+        assert np.all(signed_distance(np.zeros(DESIGN), DL) < 0)
+
+    def test_theta_from_pattern_levelset(self):
+        ls = LevelSetParameterization(DESIGN, knot_shape=(16, 16))
+        pattern = rasterize_segments(
+            DESIGN, DL, [PathSegment((0.0, 0.8), (1.6, 0.8), 0.4)]
+        )
+        theta = theta_from_pattern(ls, pattern, DL)
+        decoded = ls.pattern_array(theta)
+        overlap = (decoded * pattern).sum() / pattern.sum()
+        assert overlap > 0.8
+
+    def test_theta_from_pattern_density(self):
+        d = DensityParameterization(DESIGN, DL)
+        pattern = rasterize_segments(
+            DESIGN, DL, [PathSegment((0.0, 0.8), (1.6, 0.8), 0.4)]
+        )
+        theta = theta_from_pattern(d, pattern, DL)
+        decoded = d.pattern_array(theta)
+        np.testing.assert_array_equal(decoded, pattern)
+
+    def test_random_theta_deterministic(self):
+        ls = LevelSetParameterization(DESIGN)
+        a = random_theta(ls, np.random.default_rng(5))
+        b = random_theta(ls, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_theta_smoothing(self):
+        ls = LevelSetParameterization(DESIGN)
+        rough = random_theta(ls, np.random.default_rng(6))
+        smooth = random_theta(ls, np.random.default_rng(6), smooth_cells=2.0)
+        assert np.abs(np.diff(smooth, axis=0)).mean() < np.abs(
+            np.diff(rough, axis=0)
+        ).mean()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_theta_shape_property(self, seed):
+        ls = LevelSetParameterization(DESIGN, knot_shape=(8, 8))
+        theta = random_theta(ls, np.random.default_rng(seed))
+        assert theta.shape == (8, 8)

@@ -1,0 +1,157 @@
+"""Tests for constants, seeding, rendering, MFS measurement, result IO."""
+
+import numpy as np
+import pytest
+
+from repro.utils.constants import (
+    EPS_SI,
+    omega_from_wavelength,
+    wavelength_from_omega,
+)
+from repro.utils.io import load_result, save_result
+from repro.utils.mfs import (
+    feature_size_map,
+    minimum_feature_size,
+    violates_mfs,
+)
+from repro.utils.render import ascii_pattern, field_magnitude_ascii, save_pgm
+from repro.utils.seeding import SeedSequence, rng_from_seed
+
+
+class TestConstants:
+    def test_si_index(self):
+        assert EPS_SI == pytest.approx(3.48**2)
+
+    def test_omega_roundtrip(self):
+        lam = 1.55
+        assert wavelength_from_omega(omega_from_wavelength(lam)) == pytest.approx(lam)
+
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            omega_from_wavelength(0.0)
+        with pytest.raises(ValueError):
+            wavelength_from_omega(-1.0)
+
+
+class TestSeeding:
+    def test_rng_reproducible(self):
+        assert rng_from_seed(3).random() == rng_from_seed(3).random()
+
+    def test_sequence_children_independent(self):
+        seq = SeedSequence(0)
+        a, b = seq.next_rng(), seq.next_rng()
+        assert a.random() != b.random()
+        assert seq.count == 2
+
+    def test_spawn_batch(self):
+        seq = SeedSequence(1)
+        rngs = seq.spawn(4)
+        assert len(rngs) == 4
+        values = {r.random() for r in rngs}
+        assert len(values) == 4
+
+    def test_same_root_same_streams(self):
+        a = SeedSequence(9).next_rng().random()
+        b = SeedSequence(9).next_rng().random()
+        assert a == b
+
+
+class TestRender:
+    def test_ascii_shape(self):
+        art = ascii_pattern(np.eye(8))
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(l) == 8 for l in lines)
+
+    def test_ascii_extremes(self):
+        art = ascii_pattern(np.array([[0.0, 1.0]]))
+        assert " " in art and "@" in art
+
+    def test_ascii_downsamples(self):
+        art = ascii_pattern(np.zeros((256, 256)), max_width=32)
+        assert len(art.splitlines()[0]) <= 64
+
+    def test_ascii_validates_ndim(self):
+        with pytest.raises(ValueError):
+            ascii_pattern(np.zeros(5))
+
+    def test_field_magnitude_normalized(self):
+        field = np.zeros((4, 4), dtype=complex)
+        field[2, 2] = 3.0 + 4.0j
+        art = field_magnitude_ascii(field)
+        assert "@" in art
+
+    def test_save_pgm(self, tmp_path):
+        path = save_pgm(np.random.default_rng(0).random((16, 12)), tmp_path / "p.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n16 12\n255\n")
+        assert len(data) == len(b"P5\n16 12\n255\n") + 16 * 12
+
+
+class TestMFS:
+    def test_wide_block(self):
+        pattern = np.zeros((40, 40))
+        pattern[10:30, 10:30] = 1.0
+        assert minimum_feature_size(pattern, 0.05) >= 0.4
+
+    def test_thin_line_detected(self):
+        pattern = np.zeros((40, 40))
+        pattern[:, 19:21] = 1.0  # 2-cell line = 0.1 um
+        mfs = minimum_feature_size(pattern, 0.05)
+        assert mfs <= 0.15
+
+    def test_void_gap_measured(self):
+        pattern = np.ones((40, 40))
+        pattern[:, 19:21] = 0.0
+        assert minimum_feature_size(pattern, 0.05, "void") <= 0.15
+        assert minimum_feature_size(pattern, 0.05, "solid") > 0.4
+
+    def test_absent_phase_infinite(self):
+        assert minimum_feature_size(np.zeros((10, 10)), 0.05) == float("inf")
+        assert minimum_feature_size(np.ones((10, 10)), 0.05, "void") == float(
+            "inf"
+        )
+
+    def test_violates_mfs(self):
+        pattern = np.zeros((40, 40))
+        pattern[:, 19:21] = 1.0
+        assert violates_mfs(pattern, 0.05, mfs_um=0.2)
+        block = np.zeros((40, 40))
+        block[5:35, 5:35] = 1.0
+        assert not violates_mfs(block, 0.05, mfs_um=0.2)
+
+    def test_feature_size_map(self):
+        pattern = np.zeros((20, 20))
+        pattern[5:15, 5:15] = 1.0
+        size = feature_size_map(pattern, 0.05)
+        assert size.shape == pattern.shape
+        assert size[10, 10] > size[5, 5]
+
+    def test_what_validation(self):
+        with pytest.raises(ValueError):
+            minimum_feature_size(np.ones((4, 4)), 0.05, what="edges")
+
+
+class TestResultIO:
+    def test_roundtrip_scalars_and_arrays(self, tmp_path):
+        payload = {
+            "fom": np.float64(0.93),
+            "trace": np.linspace(0, 1, 5),
+            "nested": {"n": 3, "values": [1.0, 2.0]},
+            "label": "bench",
+        }
+        path = save_result(payload, tmp_path / "r.json")
+        loaded = load_result(path)
+        assert loaded["fom"] == pytest.approx(0.93)
+        np.testing.assert_allclose(loaded["trace"], payload["trace"])
+        assert loaded["nested"]["n"] == 3
+        assert loaded["label"] == "bench"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_result({"x": 1}, tmp_path / "a" / "b" / "r.json")
+        assert path.exists()
+
+    def test_2d_array_roundtrip(self, tmp_path):
+        pattern = np.random.default_rng(0).integers(0, 2, (8, 8)).astype(float)
+        path = save_result({"pattern": pattern}, tmp_path / "p.json")
+        np.testing.assert_array_equal(load_result(path)["pattern"], pattern)

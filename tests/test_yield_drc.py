@@ -1,0 +1,141 @@
+"""Tests for yield estimation and design-rule checking."""
+
+import numpy as np
+import pytest
+
+from repro.devices import make_device
+from repro.eval.montecarlo import RobustnessReport
+from repro.eval.yield_analysis import YieldReport, estimate_yield, yield_curve
+from repro.fab.process import FabricationProcess
+from repro.params import rasterize_segments
+from repro.utils.drc import DesignRules, run_drc
+
+
+@pytest.fixture(scope="module")
+def bend_setup():
+    device = make_device("bending")
+    process = FabricationProcess(
+        device.design_shape, device.dl, context=device.litho_context(12),
+        pad=12,
+    )
+    pattern = rasterize_segments(
+        device.design_shape, device.dl, device.init_segments()
+    )
+    return device, process, pattern
+
+
+class TestYieldReport:
+    def test_fraction(self):
+        r = YieldReport(spec=0.8, lower_is_better=False, n_pass=7, n_total=10)
+        assert r.yield_fraction == pytest.approx(0.7)
+
+    def test_confidence_interval_contains_point(self):
+        r = YieldReport(spec=0.8, lower_is_better=False, n_pass=7, n_total=10)
+        lo, hi = r.confidence_interval()
+        assert lo <= r.yield_fraction <= hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_degenerate_all_pass(self):
+        r = YieldReport(spec=0.0, lower_is_better=False, n_pass=5, n_total=5)
+        lo, hi = r.confidence_interval()
+        assert r.yield_fraction == 1.0
+        assert hi == 1.0
+
+
+class TestEstimateYield:
+    def test_reuses_report(self, bend_setup):
+        device, process, pattern = bend_setup
+        report = RobustnessReport(
+            foms=np.array([0.5, 0.7, 0.9]), mean_powers={}
+        )
+        y = estimate_yield(
+            device, process, pattern, spec=0.6, report=report
+        )
+        assert y.n_total == 3
+        assert y.n_pass == 2  # bend is higher-is-better
+
+    def test_lower_is_better_device(self):
+        isolator = make_device("isolator")
+        report = RobustnessReport(
+            foms=np.array([0.01, 0.5, 2.0]), mean_powers={}
+        )
+        y = estimate_yield(isolator, None, None, spec=0.6, report=report)
+        assert y.lower_is_better
+        assert y.n_pass == 2
+
+    def test_end_to_end_monte_carlo(self, bend_setup):
+        device, process, pattern = bend_setup
+        y = estimate_yield(
+            device, process, pattern, spec=0.0, n_samples=3, seed=0
+        )
+        assert y.n_total == 3
+        assert y.yield_fraction == 1.0  # everything beats spec 0
+
+
+class TestYieldCurve:
+    def test_monotone_in_spec(self, bend_setup):
+        device, process, pattern = bend_setup
+        curve = yield_curve(
+            device, process, pattern, specs=[0.0, 0.3, 0.6, 0.9, 1.5],
+            n_samples=4, seed=0,
+        )
+        fractions = [r.yield_fraction for r in curve]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == 1.0
+
+    def test_empty_specs_raise(self, bend_setup):
+        device, process, pattern = bend_setup
+        with pytest.raises(ValueError):
+            yield_curve(device, process, pattern, specs=[])
+
+
+class TestDRC:
+    def test_clean_block(self):
+        pattern = np.zeros((40, 40))
+        pattern[10:30, 10:30] = 1.0
+        report = run_drc(pattern, dl=0.05)
+        assert report.clean
+        assert report.n_solid_features == 1
+        assert report.solid_fill == pytest.approx(400 / 1600)
+        assert "CLEAN" in report.summary()
+
+    def test_thin_line_violates(self):
+        pattern = np.zeros((40, 40))
+        pattern[:, 19] = 1.0  # 50-nm line vs 100-nm rule
+        report = run_drc(pattern, dl=0.05)
+        assert not report.solid_ok
+        assert not report.clean
+        assert "VIOLATIONS" in report.summary()
+
+    def test_narrow_gap_violates(self):
+        pattern = np.ones((40, 40))
+        pattern[:, 19] = 0.0
+        report = run_drc(pattern, dl=0.05, rules=DesignRules(0.1, 0.1))
+        assert report.solid_ok
+        assert not report.gap_ok
+
+    def test_custom_rules(self):
+        pattern = np.zeros((40, 40))
+        pattern[:, 16:22] = 1.0  # 300-nm line
+        tight = run_drc(pattern, 0.05, DesignRules(0.4, 0.1))
+        loose = run_drc(pattern, 0.05, DesignRules(0.2, 0.1))
+        assert not tight.solid_ok
+        assert loose.solid_ok
+
+    def test_rules_validated(self):
+        with pytest.raises(ValueError):
+            DesignRules(min_solid_um=0.0)
+
+    def test_fab_output_is_drc_cleaner_than_noise(self, bend_setup):
+        """Lithography output respects the resolution limit; raw noise
+        does not — the paper's manufacturability argument as a DRC fact."""
+        from repro.fab.corners import VariationCorner
+
+        device, process, pattern = bend_setup
+        rng = np.random.default_rng(0)
+        noise = (rng.uniform(0, 1, device.design_shape) > 0.5).astype(float)
+        printed = process.apply_array(noise, VariationCorner("nominal"))
+        noise_drc = run_drc(noise, device.dl)
+        printed_drc = run_drc(printed, device.dl)
+        assert not noise_drc.clean
+        assert printed_drc.solid_mfs_um >= noise_drc.solid_mfs_um
