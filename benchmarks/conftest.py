@@ -1,8 +1,26 @@
-"""Benchmark-session plumbing: replay result tables after the run."""
+"""Benchmark-session plumbing: slow marking + table replay.
+
+Everything under ``benchmarks/`` is marked ``slow`` so the tier-1 run
+(``python -m pytest -x -q``, which deselects ``slow`` via ``pytest.ini``)
+stays fast; run the benchmarks explicitly with ``-m slow``.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
+
+import pytest
+
 from benchmarks.common import WRITTEN_REPORTS
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    # The hook sees the whole session's items; only mark ours.
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -1,0 +1,256 @@
+"""Perf-evidence runner for the simulation workspace (PR 1).
+
+Times the seed-equivalent cold pipeline against the cached/batched one
+and writes ``BENCH_PR1.json``:
+
+* ``solver``     — one HelmholtzSolver construction: seed reference
+  (full rebuild + COLAMD) vs. tuned cold vs. warm workspace.
+* ``iteration``  — end-to-end per-iteration wall time of
+  ``Boson1Optimizer`` on the bending device with fabrication corners on
+  (the paper's dominant cost), seed-equivalent vs. cached (serial and
+  thread executors).
+* ``montecarlo`` — ``evaluate_post_fab`` wall time, seed-equivalent
+  vs. cached.
+
+The seed-equivalent and cached runs are also cross-checked: their FoM
+trajectories must agree to solver precision (bit-identity of cached vs.
+uncached at *equal* factorization settings is asserted separately in
+``tests/test_fdfd_workspace.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--iterations N]
+        [--mc-samples N] [--output PATH] [--skip-pytest-bench]
+
+By default it finishes by running the pytest-benchmark substrate +
+workspace-cache groups (``-m slow``) so their statistics land in the
+same session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Boson1Optimizer, OptimizerConfig  # noqa: E402
+from repro.devices import make_device  # noqa: E402
+from repro.eval import evaluate_post_fab  # noqa: E402
+from repro.fab.process import FabricationProcess  # noqa: E402
+from repro.fdfd import (  # noqa: E402
+    FactorOptions,
+    HelmholtzSolver,
+    SimGrid,
+    SimulationWorkspace,
+)
+from repro.fdfd.workspace import set_default_factor_options  # noqa: E402
+from repro.utils.constants import omega_from_wavelength  # noqa: E402
+
+
+def _time_repeat(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_solver(repeats: int = 5) -> dict:
+    grid = SimGrid((80, 80), dl=0.05, npml=10)
+    omega = omega_from_wavelength(1.55)
+    rng = np.random.default_rng(0)
+    eps = 1.0 + 11.0 * rng.uniform(size=grid.shape)
+    reference = FactorOptions.reference()
+
+    cold_ref = _time_repeat(
+        lambda: HelmholtzSolver(
+            grid, eps, omega, workspace=None, factor_options=reference
+        ),
+        repeats,
+    )
+    cold_fast = _time_repeat(
+        lambda: HelmholtzSolver(grid, eps, omega, workspace=None), repeats
+    )
+
+    workspace = SimulationWorkspace(max_factorizations=2)
+    HelmholtzSolver(grid, eps, omega, workspace=workspace)
+    state = {"i": 0}
+
+    def warm_new_eps():
+        state["i"] += 1
+        bumped = eps.copy()
+        bumped[40, 40] += 1e-9 * state["i"]
+        HelmholtzSolver(grid, bumped, omega, workspace=workspace)
+
+    warm_new = _time_repeat(warm_new_eps, repeats)
+    warm_hit = _time_repeat(
+        lambda: HelmholtzSolver(grid, eps, omega, workspace=workspace), repeats
+    )
+    return {
+        "grid": list(grid.shape),
+        "cold_reference_ms": cold_ref * 1e3,
+        "cold_tuned_ms": cold_fast * 1e3,
+        "warm_new_eps_ms": warm_new * 1e3,
+        "warm_lu_hit_ms": warm_hit * 1e3,
+        "speedup_cold_ref_vs_warm_new_eps": cold_ref / warm_new,
+    }
+
+
+def _timed_run(config: OptimizerConfig, iterations: int):
+    device = make_device("bending")
+    optimizer = Boson1Optimizer(device, config)
+    t0 = time.perf_counter()
+    result = optimizer.run(iterations=iterations)
+    elapsed = time.perf_counter() - t0
+    optimizer.close()
+    return elapsed, result
+
+
+def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
+    """Per-iteration wall time on the bending device, fab corners on."""
+    base = dict(iterations=iterations, seed=0)
+
+    # Seed-equivalent: no caches, SciPy-default COLAMD factorization.
+    previous = set_default_factor_options(FactorOptions.reference())
+    try:
+        t_seed, r_seed = _timed_run(
+            OptimizerConfig(simulation_cache=False, **base), iterations
+        )
+    finally:
+        set_default_factor_options(previous)
+
+    t_serial, r_serial = _timed_run(OptimizerConfig(**base), iterations)
+    t_thread, r_thread = _timed_run(
+        OptimizerConfig(corner_executor="thread", **base), iterations
+    )
+
+    # Same physics up to factorization roundoff; thread == serial exactly.
+    assert np.allclose(r_seed.fom_trace(), r_serial.fom_trace(), atol=1e-6)
+    assert np.array_equal(r_serial.fom_trace(), r_thread.fom_trace())
+
+    report = {
+        "device": "bending",
+        "iterations": iterations,
+        "corners_per_iteration": r_serial.history[0].n_corners,
+        "seed_equivalent_s_per_iter": t_seed / iterations,
+        "cached_serial_s_per_iter": t_serial / iterations,
+        "cached_thread_s_per_iter": t_thread / iterations,
+        "speedup_serial": t_seed / t_serial,
+        "speedup_thread": t_seed / t_thread,
+    }
+    return report, r_serial.pattern
+
+
+def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
+    device = make_device("bending")
+    process = FabricationProcess(
+        device.design_shape,
+        device.dl,
+        context=device.litho_context(12),
+        pad=12,
+    )
+
+    previous = set_default_factor_options(FactorOptions.reference())
+    try:
+        device.configure_simulation_cache(False)
+        t0 = time.perf_counter()
+        r_seed = evaluate_post_fab(
+            device, process, pattern, n_samples=n_samples, seed=1234
+        )
+        t_seed = time.perf_counter() - t0
+    finally:
+        set_default_factor_options(previous)
+
+    device.configure_simulation_cache(True, SimulationWorkspace())
+    t0 = time.perf_counter()
+    r_warm = evaluate_post_fab(
+        device, process, pattern, n_samples=n_samples, seed=1234
+    )
+    t_warm = time.perf_counter() - t0
+    assert np.allclose(r_seed.foms, r_warm.foms, atol=1e-6)
+    return {
+        "n_samples": n_samples,
+        "seed_equivalent_s": t_seed,
+        "cached_s": t_warm,
+        "speedup": t_seed / t_warm,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--mc-samples", type=int, default=8)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_PR1.json")
+    )
+    parser.add_argument(
+        "--skip-pytest-bench",
+        action="store_true",
+        help="skip the pytest-benchmark substrate/workspace groups",
+    )
+    args = parser.parse_args(argv)
+
+    print("== solver construction ==")
+    solver = bench_solver()
+    for key, value in solver.items():
+        print(f"  {key}: {value if isinstance(value, list) else round(value, 3)}")
+
+    print("== optimizer iteration (bending, fab corners on) ==")
+    iteration, pattern = bench_iteration(args.iterations)
+    for key, value in iteration.items():
+        print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
+
+    print("== Monte-Carlo evaluation ==")
+    montecarlo = bench_montecarlo(pattern, args.mc_samples)
+    for key, value in montecarlo.items():
+        print(f"  {key}: {round(value, 4)}")
+
+    payload = {
+        "benchmark": "PR1 simulation workspace",
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "solver": solver,
+        "iteration": iteration,
+        "montecarlo": montecarlo,
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    if not args.skip_pytest_bench:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-m",
+            "slow",
+            "-q",
+            str(REPO_ROOT / "benchmarks" / "test_solver_performance.py"),
+            str(REPO_ROOT / "benchmarks" / "test_workspace_cache.py"),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        print("\nrunning pytest benchmark groups...")
+        return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

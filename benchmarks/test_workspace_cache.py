@@ -1,0 +1,131 @@
+"""Micro-benchmarks of the simulation workspace caching layer.
+
+Group ``workspace-cache``: cold vs. warm solver construction, warm
+device port-power solves, and Monte-Carlo evaluation throughput.  The
+cold paths rebuild operators/modes per solve (the seed behaviour); warm
+paths share a :class:`~repro.fdfd.workspace.SimulationWorkspace`.  The
+correctness counterpart (bit-identical results) lives in
+``tests/test_fdfd_workspace.py``; these tests record the wall-time side.
+Run with ``pytest benchmarks/test_workspace_cache.py -m slow``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.devices import make_device
+from repro.eval import evaluate_post_fab
+from repro.fab import FabricationProcess
+from repro.fdfd import (
+    FactorOptions,
+    HelmholtzSolver,
+    SimGrid,
+    SimulationWorkspace,
+)
+from repro.params import rasterize_segments
+from repro.utils.constants import omega_from_wavelength
+
+GRID = SimGrid((80, 80), dl=0.05, npml=10)
+OMEGA = omega_from_wavelength(1.55)
+
+
+def _eps(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 1.0 + 11.0 * rng.uniform(size=GRID.shape)
+
+
+@pytest.mark.benchmark(group="workspace-cache")
+def test_solver_cold_reference(benchmark):
+    """Seed-equivalent construction: full rebuild + COLAMD factorization."""
+    eps = _eps()
+    reference = FactorOptions.reference()
+
+    solver = benchmark(
+        lambda: HelmholtzSolver(
+            GRID, eps, OMEGA, workspace=None, factor_options=reference
+        )
+    )
+    assert solver.system_matrix.nnz > 0
+
+
+@pytest.mark.benchmark(group="workspace-cache")
+def test_solver_cold_tuned(benchmark):
+    """Cache-free construction with the tuned symmetric-mode SuperLU."""
+    eps = _eps()
+
+    solver = benchmark(lambda: HelmholtzSolver(GRID, eps, OMEGA, workspace=None))
+    assert solver.system_matrix.nnz > 0
+
+
+@pytest.mark.benchmark(group="workspace-cache")
+def test_solver_warm_new_eps(benchmark):
+    """Warm workspace, fresh permittivity per round (the per-corner cost)."""
+    workspace = SimulationWorkspace()
+    HelmholtzSolver(GRID, _eps(), OMEGA, workspace=workspace)  # warm assembly
+    base = _eps()
+    counter = itertools.count()
+
+    def run():
+        eps = base.copy()
+        eps[40, 40] += 1e-9 * (1 + next(counter))  # dodge the LU cache
+        return HelmholtzSolver(GRID, eps, OMEGA, workspace=workspace)
+
+    solver = benchmark(run)
+    assert solver.system_matrix.nnz > 0
+
+
+@pytest.mark.benchmark(group="workspace-cache")
+def test_solver_warm_lu_hit(benchmark):
+    """Warm workspace, repeated permittivity (shared factorization)."""
+    workspace = SimulationWorkspace()
+    eps = _eps()
+    HelmholtzSolver(GRID, eps, OMEGA, workspace=workspace)
+
+    solver = benchmark(lambda: HelmholtzSolver(GRID, eps, OMEGA, workspace=workspace))
+    assert solver.system_matrix.nnz > 0
+
+
+@pytest.fixture(scope="module")
+def warm_bend():
+    device = make_device("bending")
+    device.configure_simulation_cache(True, SimulationWorkspace())
+    pattern = rasterize_segments(
+        device.design_shape, device.dl, device.init_segments()
+    )
+    device.port_powers_array(pattern, "fwd")  # warm calibration + infra
+    return device, pattern
+
+
+@pytest.mark.benchmark(group="workspace-cache")
+def test_port_powers_warm(benchmark, warm_bend):
+    """Full warm port-power solve (assembly + infra cached, fresh eps)."""
+    device, pattern = warm_bend
+    counter = itertools.count()
+
+    def run():
+        rho = pattern.copy()
+        rho[0, 0] = 1e-9 * (1 + next(counter))
+        return device.port_powers_array(rho, "fwd")
+
+    powers = benchmark(run)
+    assert 0 <= powers["out"] <= 1.2
+
+
+@pytest.mark.benchmark(group="workspace-cache")
+def test_montecarlo_eval_warm(benchmark, warm_bend):
+    """Monte-Carlo robustness evaluation against a warm workspace."""
+    device, pattern = warm_bend
+    process = FabricationProcess(
+        device.design_shape,
+        device.dl,
+        context=device.litho_context(12),
+        pad=12,
+    )
+
+    report = benchmark(
+        lambda: evaluate_post_fab(device, process, pattern, n_samples=4, seed=7)
+    )
+    assert report.n_samples == 4

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -106,9 +107,12 @@ def _invfabcor(blur, n_corners, eff=False):
 
 
 def _boson1(**config_overrides):
-    def runner(device, process, iterations, seed):
+    def runner(device, process, iterations, seed, corner_executor="serial"):
         config = OptimizerConfig(
-            iterations=iterations, seed=seed, **config_overrides
+            iterations=iterations,
+            seed=seed,
+            corner_executor=corner_executor,
+            **config_overrides,
         )
         optimizer = Boson1Optimizer(device, config, process=process)
         result = optimizer.run()
@@ -143,14 +147,23 @@ def run_baseline(
     process: FabricationProcess,
     iterations: int = 50,
     seed: int = 0,
+    corner_executor: str = "serial",
 ) -> BaselineResult:
-    """Run one named method end-to-end and return its taped-out mask."""
+    """Run one named method end-to-end and return its taped-out mask.
+
+    ``corner_executor`` selects the corner fan-out backend for methods
+    that optimize through fabrication corners (the BOSON variants);
+    results are backend-independent, so it is purely a wall-time knob.
+    """
     try:
         runner = BASELINE_REGISTRY[method]
     except KeyError:
         raise ValueError(
             f"unknown method {method!r}; have {sorted(BASELINE_REGISTRY)}"
         ) from None
-    result = runner(device, process, iterations, seed)
+    kwargs = {}
+    if "corner_executor" in inspect.signature(runner).parameters:
+        kwargs["corner_executor"] = corner_executor
+    result = runner(device, process, iterations, seed, **kwargs)
     result.method = method
     return result

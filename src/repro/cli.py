@@ -53,11 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_design.add_argument("--seed", type=int, default=0)
     p_design.add_argument("--output", default=None, help="result JSON path")
     p_design.add_argument("--quiet", action="store_true")
+    p_design.add_argument(
+        "--executor",
+        default="serial",
+        help="corner fan-out backend: serial | thread[:n]",
+    )
 
     p_eval = sub.add_parser("evaluate", help="post-fab Monte-Carlo eval")
     p_eval.add_argument("result", help="JSON produced by `design`/`baseline`")
     p_eval.add_argument("--samples", type=int, default=20)
     p_eval.add_argument("--seed", type=int, default=1234)
+    p_eval.add_argument(
+        "--executor",
+        default="serial",
+        help="sample fan-out backend: serial | thread[:n] | process[:n]",
+    )
 
     p_base = sub.add_parser("baseline", help="run a named prior-art method")
     p_base.add_argument("device", choices=sorted(DEVICE_REGISTRY))
@@ -82,6 +92,7 @@ def _cmd_design(args) -> int:
         sampling=args.sampling,
         relax_epochs=relax,
         seed=args.seed,
+        corner_executor=args.executor,
     )
     optimizer = Boson1Optimizer(device, config)
 
@@ -121,7 +132,8 @@ def _cmd_evaluate(args) -> int:
     pattern = np.asarray(payload["pattern"], dtype=np.float64)
     pre, _ = evaluate_ideal(device, pattern)
     report = evaluate_post_fab(
-        device, process, pattern, n_samples=args.samples, seed=args.seed
+        device, process, pattern, n_samples=args.samples, seed=args.seed,
+        executor=args.executor,
     )
     better = "lower" if device.fom_lower_is_better else "higher"
     print(f"device          : {payload['device']} ({better} FoM is better)")
@@ -131,6 +143,7 @@ def _cmd_evaluate(args) -> int:
         f"post-fab FoM    : {report.mean_fom:.4g} +- {report.std_fom:.4g} "
         f"({report.n_samples} samples)"
     )
+    print(f"worst sample    : {report.worst_fom:.4g}")
     return 0
 
 

@@ -5,6 +5,8 @@
 * :mod:`repro.core.sampling` — nominal / axial / exhaustive / random /
   axial+worst variation sampling strategies (Sec. III-E, Fig. 6a);
 * :mod:`repro.core.optimizer` — Adam on raw numpy parameters;
+* :mod:`repro.core.executors` — serial/thread/process fan-out backends
+  with a deterministic ordered reduction;
 * :mod:`repro.core.engine` — :class:`Boson1Optimizer`, the end-to-end
   inverse-design loop; every paper technique is a config flag so the
   Table II ablations are configuration-only.
@@ -12,6 +14,13 @@
 
 from repro.core.config import OptimizerConfig
 from repro.core.engine import Boson1Optimizer, OptimizationResult
+from repro.core.executors import (
+    CornerExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.core.objective import build_loss, radiation_power
 from repro.core.optimizer import Adam
 from repro.core.relaxation import RelaxationSchedule
@@ -25,6 +34,11 @@ __all__ = [
     "OptimizerConfig",
     "Boson1Optimizer",
     "OptimizationResult",
+    "CornerExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "build_loss",
     "radiation_power",
     "Adam",

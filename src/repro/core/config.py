@@ -58,6 +58,21 @@ class OptimizerConfig:
         Step size of the worst-corner ascent in EOLE-coefficient space.
     seed:
         Root seed for every stochastic component.
+    corner_executor:
+        Backend for the per-iteration corner fan-out: ``"serial"``
+        (default) or ``"thread"`` / ``"thread:n"``.  Corner losses are
+        independent and reduced in a fixed order, so every backend
+        produces bit-identical results; the ``process`` backend is
+        reserved for tape-free evaluation
+        (:func:`repro.eval.montecarlo.evaluate_post_fab`) because taped
+        corner losses cannot cross process boundaries.
+    executor_workers:
+        Worker count for pooled backends (``None`` = automatic).
+    simulation_cache:
+        Route solves through the shared
+        :class:`~repro.fdfd.workspace.SimulationWorkspace` (cached
+        operators, modes, factorizations).  Off reproduces the cold
+        seed path bit-for-bit; only wall time differs.
     """
 
     parameterization: str = "levelset"
@@ -79,6 +94,9 @@ class OptimizerConfig:
     knot_shape: tuple[int, int] | None = None
     levelset_beta: float = 2.0
     density_beta: float = 8.0
+    corner_executor: str = "serial"
+    executor_workers: int | None = None
+    simulation_cache: bool = True
 
     def __post_init__(self):
         if self.parameterization not in ("levelset", "density"):
@@ -96,6 +114,14 @@ class OptimizerConfig:
             raise ValueError("relax_epochs must be >= 0")
         if not 0.0 <= self.p_start <= 1.0:
             raise ValueError("p_start must lie in [0, 1]")
+        backend = self.corner_executor.partition(":")[0]
+        if backend not in ("serial", "thread"):
+            raise ValueError(
+                "corner_executor must be 'serial' or 'thread' (taped corner "
+                f"losses cannot cross processes), got {self.corner_executor!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
 
     @property
     def effective_lr(self) -> float:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.autodiff import Tensor
 from repro.core.config import OptimizerConfig
+from repro.core.executors import make_executor
 from repro.core.objective import build_loss, radiation_power
 from repro.core.optimizer import Adam
 from repro.core.relaxation import RelaxationSchedule
@@ -114,6 +115,11 @@ class Boson1Optimizer:
         self.device = device
         self.config = config or OptimizerConfig()
         self.rng = rng_from_seed(self.config.seed)
+        if device.simulation_cache != self.config.simulation_cache:
+            device.configure_simulation_cache(self.config.simulation_cache)
+        self.executor = make_executor(
+            self.config.corner_executor, self.config.executor_workers
+        )
         if process is None:
             process = FabricationProcess(
                 device.design_shape,
@@ -220,8 +226,15 @@ class Boson1Optimizer:
 
     def loss(
         self, theta_t: Tensor, iteration: int
-    ) -> tuple[Tensor, dict[str, dict[str, float]]]:
-        """Eq. (3) blended loss and nominal-condition power snapshot."""
+    ) -> tuple[Tensor, dict[str, dict[str, float]], int]:
+        """Eq. (3) blended loss, nominal-condition powers, corner count.
+
+        Corner losses are independent given ``rho``; they fan out over
+        :attr:`executor` and are reduced serially in the sampler's
+        corner order, so the result is bit-identical for every backend
+        and worker count.  The returned corner count is the number the
+        loss actually averaged over (0 when ``use_fab`` is off).
+        """
         rho = self.decode(theta_t)
         nominal_powers: dict[str, dict[str, float]] | None = None
 
@@ -231,17 +244,19 @@ class Boson1Optimizer:
                 d: {k: v.item() for k, v in powers[d].items()}
                 for d in powers
             }
-            return total, nominal_powers
+            return total, nominal_powers, 0
 
         worst_finder = None
         if isinstance(self.sampler, AxialPlusWorstSampling):
             worst_finder = self._make_worst_finder(rho)
         corners = self.sampler.corners(iteration, self.rng, worst_finder)
 
+        corner_results = self.executor.map_ordered(
+            lambda corner: self._corner_loss(rho, corner), corners
+        )
         fab_loss = None
         total_weight = 0.0
-        for corner in corners:
-            loss_c, powers_c = self._corner_loss(rho, corner)
+        for corner, (loss_c, powers_c) in zip(corners, corner_results):
             weighted = loss_c * corner.weight
             fab_loss = weighted if fab_loss is None else fab_loss + weighted
             total_weight += corner.weight
@@ -265,13 +280,13 @@ class Boson1Optimizer:
             total = fab_loss
         if nominal_powers is None:
             # Sampler produced no nominal corner: take the first corner's
-            # powers as the snapshot.
-            _, powers_c = self._corner_loss(rho, corners[0])
+            # powers as the snapshot (already computed in the fan-out).
+            _, powers_c = corner_results[0]
             nominal_powers = {
                 d: {k: v.item() for k, v in powers_c[d].items()}
                 for d in powers_c
             }
-        return total, nominal_powers
+        return total, nominal_powers, len(corners)
 
     # ------------------------------------------------------------------ #
     # Worst-corner search (Sec. III-E)                                   #
@@ -309,6 +324,14 @@ class Boson1Optimizer:
 
         return finder
 
+    def close(self) -> None:
+        """Release executor workers (no-op for the serial backend).
+
+        The executor re-creates its pool lazily, so an optimizer remains
+        usable after ``close()``.
+        """
+        self.executor.shutdown()
+
     # ------------------------------------------------------------------ #
     # Main loop                                                          #
     # ------------------------------------------------------------------ #
@@ -332,9 +355,19 @@ class Boson1Optimizer:
         history: list[IterationRecord] = []
         final_loss = float("nan")
 
+        try:
+            return self._run_loop(
+                n_iter, adam, theta, history, final_loss, callback
+            )
+        finally:
+            # Pools are re-created lazily, so releasing workers here
+            # keeps the optimizer reusable while never leaking threads.
+            self.executor.shutdown()
+
+    def _run_loop(self, n_iter, adam, theta, history, final_loss, callback):
         for it in range(n_iter):
             theta_t = Tensor(theta, requires_grad=True)
-            loss, nominal_powers = self.loss(theta_t, it)
+            loss, nominal_powers, n_corners = self.loss(theta_t, it)
             loss.backward()
             grad = (
                 theta_t.grad
@@ -345,9 +378,7 @@ class Boson1Optimizer:
                 iteration=it,
                 loss=loss.item(),
                 p=self.schedule.p(it) if self.config.use_fab else 0.0,
-                n_corners=0 if not self.config.use_fab else len(
-                    self.sampler.corners(it, rng_from_seed(0))
-                ),
+                n_corners=n_corners,
                 fom=self.device.fom(nominal_powers),
                 powers=nominal_powers,
             )

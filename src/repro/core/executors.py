@@ -1,0 +1,187 @@
+"""Pluggable executors for independent simulation fan-out.
+
+The variation-aware loop evaluates many *independent* units of work per
+step: one loss per fabrication corner in
+:meth:`repro.core.engine.Boson1Optimizer.loss`, one FoM per sample in
+:func:`repro.eval.montecarlo.evaluate_post_fab`.  This module provides a
+minimal executor abstraction over ``concurrent.futures`` so those sites
+can fan out without committing to a backend:
+
+* ``serial``  — in-process loop; zero overhead, always available.
+* ``thread``  — ``ThreadPoolExecutor``; effective because the hot path
+  (SuperLU factorization, BLAS solves, FFT lithography) releases the
+  GIL.  Safe for taped (autodiff) work: corner subgraphs are disjoint
+  and the tape is built from parent pointers, not global state.
+* ``process`` — ``ProcessPoolExecutor``; for tape-free workloads whose
+  task payloads are picklable (Monte-Carlo evaluation).  Workers re-warm
+  their own simulation caches.
+
+Determinism contract
+--------------------
+:meth:`CornerExecutor.map_ordered` always returns results in **input
+order**, whatever order workers finish in, and callers reduce serially
+over that list — so results are bit-reproducible regardless of backend
+and worker count (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "CornerExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "EXECUTOR_BACKENDS",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class CornerExecutor:
+    """Base executor: ordered map over independent work items."""
+
+    name = "base"
+    #: Whether tasks may carry non-picklable state (tapes, LU objects).
+    supports_shared_memory = True
+
+    def map_ordered(
+        self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]
+    ) -> list[R]:
+        """Apply ``fn`` to every item; results in input order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release worker resources (no-op for the serial backend)."""
+
+    def __enter__(self) -> "CornerExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(CornerExecutor):
+    """The default: a plain loop in the calling thread."""
+
+    name = "serial"
+
+    def map_ordered(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(CornerExecutor):
+    """Shared machinery for ``concurrent.futures``-backed executors."""
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._pool: Executor | None = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    @property
+    def pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map_ordered(self, fn, items):
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        # Executor.map yields results in submission order: the ordered,
+        # deterministic reduction the callers rely on.
+        return list(self.pool.map(fn, items, chunksize=self._chunksize(len(items))))
+
+    def _chunksize(self, n_items: int) -> int:
+        return 1
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool fan-out (GIL released inside SuperLU / BLAS / FFT)."""
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        workers = self.max_workers or min(8, os.cpu_count() or 1)
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="corner"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool fan-out for picklable, tape-free tasks."""
+
+    name = "process"
+    supports_shared_memory = False
+
+    def _make_pool(self) -> Executor:
+        workers = self.max_workers or (os.cpu_count() or 1)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _chunksize(self, n_items: int) -> int:
+        # One chunk per worker: the task payload (device, process,
+        # pattern) is pickled once per chunk, so each worker unpickles a
+        # single simulation workspace and warms it across its chunk
+        # instead of starting cold on every item.
+        workers = self.max_workers or (os.cpu_count() or 1)
+        return max(1, -(-n_items // workers))
+
+
+EXECUTOR_BACKENDS: dict[str, type[CornerExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(
+    spec: "str | CornerExecutor | None",
+    max_workers: int | None = None,
+) -> CornerExecutor:
+    """Build an executor from a backend spec.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` or ``"serial"``, ``"thread"``, ``"process"`` —
+        optionally with a worker count suffix (``"thread:4"``).  An
+        existing :class:`CornerExecutor` passes through unchanged.
+    max_workers:
+        Worker count; overridden by a ``:n`` suffix in ``spec``.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, CornerExecutor):
+        return spec
+    name, _, count = str(spec).partition(":")
+    if count:
+        try:
+            max_workers = int(count)
+        except ValueError:
+            raise ValueError(
+                f"invalid worker count in executor spec {spec!r}"
+            ) from None
+        if max_workers < 1:
+            raise ValueError(f"executor workers must be >= 1, got {max_workers}")
+    try:
+        cls = EXECUTOR_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {name!r}; "
+            f"have {sorted(EXECUTOR_BACKENDS)}"
+        ) from None
+    if cls is SerialExecutor:
+        return cls()
+    return cls(max_workers=max_workers)

@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.autodiff import Tensor
 from repro.autodiff.ops import as_tensor, custom_vjp_with_residuals
-from repro.fdfd.adjoint import PortPowerProblem, PortSpec
+from repro.fdfd.adjoint import PortInfrastructure, PortPowerProblem, PortSpec
 from repro.fdfd.grid import SimGrid
+from repro.fdfd.workspace import SimulationWorkspace, shared_workspace
 from repro.params.initializers import PathSegment
 from repro.utils.constants import EPS_SI, EPS_VOID, omega_from_wavelength
 
@@ -72,6 +73,8 @@ class PhotonicDevice:
         design_slice: tuple[slice, slice],
         wavelength_um: float = 1.55,
         eps_solid: float = EPS_SI,
+        simulation_cache: bool = True,
+        workspace: SimulationWorkspace | None = None,
     ):
         self.grid = grid
         self.design_slice = design_slice
@@ -85,6 +88,38 @@ class PhotonicDevice:
         )
         self._background = None
         self._calibration_cache: dict[tuple[str, float], tuple] = {}
+        self.configure_simulation_cache(simulation_cache, workspace)
+
+    def configure_simulation_cache(
+        self,
+        enabled: bool,
+        workspace: SimulationWorkspace | None = None,
+    ) -> None:
+        """Switch the simulation caching layer on or off.
+
+        Parameters
+        ----------
+        enabled:
+            When True (the default at construction) the device routes
+            every solve through a
+            :class:`~repro.fdfd.workspace.SimulationWorkspace` and
+            memoizes the per-direction port infrastructure.  When False
+            every solve rebuilds operators, modes and monitors — the
+            seed behaviour, kept for cold-path benchmarks and cache
+            correctness tests.
+        workspace:
+            Explicit workspace to use when ``enabled``; defaults to the
+            process-shared one.  Ignored when ``enabled`` is False.
+
+        Both paths produce bit-identical powers and gradients (asserted
+        by the test suite); only the wall time differs.
+        """
+        self.simulation_cache = bool(enabled)
+        if self.simulation_cache:
+            self.workspace = workspace or shared_workspace()
+        else:
+            self.workspace = None
+        self._calibration_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Geometry interface (subclasses)                                    #
@@ -176,7 +211,37 @@ class PhotonicDevice:
             self.omega,
             list(self.monitor_ports(direction)),
             self.source_port(direction),
+            workspace=self.workspace,
         )
+
+    def _line_in_design(self, plane: int, span: slice, axis: str) -> bool:
+        """Whether a port line intersects the design window."""
+        sx, sy = self.design_slice
+        x_range = range(*sx.indices(self.grid.nx))
+        y_range = range(*sy.indices(self.grid.ny))
+        if axis == "x":
+            trans = range(*span.indices(self.grid.ny))
+            return plane in x_range and bool(set(trans) & set(y_range))
+        trans = range(*span.indices(self.grid.nx))
+        return plane in y_range and bool(set(trans) & set(x_range))
+
+    def _port_infrastructure(
+        self, problem: PortPowerProblem, direction: str, alpha_bg: float
+    ) -> PortInfrastructure | None:
+        """Precomputed monitors + source for one (direction, alpha_bg).
+
+        Port cross-sections lie outside the design window, so the
+        environment permittivity (scaled background, empty design
+        region) determines their modes for *every* design pattern.  If a
+        device ever places a port inside the design window this returns
+        ``None`` and modes fall back to per-solve computation.
+        """
+        for port in (problem.source_port, *problem.ports):
+            plane, span = problem.port_plane_and_span(port)
+            if self._line_in_design(plane, span, port.axis):
+                return None
+        eps_env = self.eps_from_occupancy(self.cached_background() * alpha_bg)
+        return problem.prepare(eps_env)
 
     def calibration(
         self, direction: str, alpha_bg: float = 1.0
@@ -196,7 +261,11 @@ class PhotonicDevice:
             eps_calib = self.eps_from_occupancy(calib_occ * alpha_bg)
             calib_port = self.calibration_monitor(direction)
             calib_problem = PortPowerProblem(
-                self.grid, self.omega, [calib_port], self.source_port(direction)
+                self.grid,
+                self.omega,
+                [calib_port],
+                self.source_port(direction),
+                workspace=self.workspace,
             )
             sol = calib_problem.solve(eps_calib)
             p_in = sol.raw_powers[calib_port.name]
@@ -206,8 +275,21 @@ class PhotonicDevice:
                     "no power — check the port geometry"
                 )
             incident = sol.fields.ez
-            self._calibration_cache[key] = (problem, p_in, incident)
-        return self._calibration_cache[key]
+            infra = (
+                self._port_infrastructure(problem, direction, alpha_bg)
+                if self.simulation_cache
+                else None
+            )
+            self._calibration_cache[key] = ((problem, p_in, incident), infra)
+        return self._calibration_cache[key][0]
+
+    def _calibration_with_infra(
+        self, direction: str, alpha_bg: float
+    ) -> tuple[PortPowerProblem, float, np.ndarray, PortInfrastructure | None]:
+        self.calibration(direction, alpha_bg)  # populate the cache entry
+        key = (direction, round(float(alpha_bg), 9))
+        (problem, p_in, incident), infra = self._calibration_cache[key]
+        return problem, p_in, incident, infra
 
     # ------------------------------------------------------------------ #
     # Differentiable port powers                                         #
@@ -219,7 +301,9 @@ class PhotonicDevice:
         self, direction: str, alpha_bg: float
     ) -> Callable[[Tensor], Tensor]:
         """Custom op: design occupancy -> normalized port power vector."""
-        problem, p_in, incident = self.calibration(direction, alpha_bg)
+        problem, p_in, incident, infra = self._calibration_with_infra(
+            direction, alpha_bg
+        )
         names = self.port_names(direction)
         bg_scaled = self.cached_background() * alpha_bg
         dslice = self.design_slice
@@ -229,7 +313,7 @@ class PhotonicDevice:
             occ = bg_scaled.copy()
             occ[dslice] = occ_design
             eps = self.eps_from_occupancy(occ)
-            sol = problem.solve(eps, incident_ez=incident)
+            sol = problem.solve(eps, incident_ez=incident, infra=infra)
             powers = np.array(
                 [sol.raw_powers[n] / p_in for n in names], dtype=np.float64
             )
@@ -280,8 +364,12 @@ class PhotonicDevice:
         self, rho_scaled: np.ndarray, direction: str, alpha_bg: float = 1.0
     ) -> dict[str, float]:
         """Plain numpy port powers (evaluation path, no tape)."""
-        problem, p_in, incident = self.calibration(direction, alpha_bg)
+        problem, p_in, incident, infra = self._calibration_with_infra(
+            direction, alpha_bg
+        )
         occ = self.cached_background() * alpha_bg
         occ[self.design_slice] = rho_scaled
-        sol = problem.solve(self.eps_from_occupancy(occ), incident_ez=incident)
+        sol = problem.solve(
+            self.eps_from_occupancy(occ), incident_ez=incident, infra=infra
+        )
         return {n: sol.raw_powers[n] / p_in for n in self.port_names(direction)}

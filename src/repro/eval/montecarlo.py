@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.executors import CornerExecutor, make_executor
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
 from repro.fab.litho import LITHO_CORNER_NAMES
@@ -22,12 +24,15 @@ class RobustnessReport:
 
     ``foms`` are per-sample FoM values; ``mean_powers`` averages each
     monitored port power over the samples (the paper's
-    ``[fwd, bwd]`` columns).
+    ``[fwd, bwd]`` columns).  ``fom_lower_is_better`` records the
+    device's FoM polarity so that :attr:`worst_fom` is meaningful
+    without caller-side bookkeeping.
     """
 
     foms: np.ndarray
     mean_powers: dict[str, dict[str, float]]
     corners: list[VariationCorner] = field(repr=False, default_factory=list)
+    fom_lower_is_better: bool = False
 
     @property
     def mean_fom(self) -> float:
@@ -39,7 +44,20 @@ class RobustnessReport:
 
     @property
     def worst_fom(self) -> float:
-        """Worst sample (max for lower-is-better handled by caller)."""
+        """The worst sample for this FoM's polarity.
+
+        The maximum when lower is better (a cost, e.g. the isolator's
+        contrast ratio), otherwise the minimum.
+        """
+        if self.fom_lower_is_better:
+            return float(np.max(self.foms))
+        return float(np.min(self.foms))
+
+    @property
+    def best_fom(self) -> float:
+        """The best sample for this FoM's polarity."""
+        if self.fom_lower_is_better:
+            return float(np.min(self.foms))
         return float(np.max(self.foms))
 
     @property
@@ -65,6 +83,26 @@ def sample_corner(
     return VariationCorner(f"mc-{index}", litho=litho, temperature_k=t, xi=xi)
 
 
+def _evaluate_sample(
+    device: PhotonicDevice,
+    process: FabricationProcess,
+    pattern: np.ndarray,
+    corner: VariationCorner,
+) -> tuple[float, dict[str, dict[str, float]]]:
+    """FoM + per-port powers of one fabricated variation draw.
+
+    Module-level (not a closure) so the process backend can pickle it;
+    worker processes re-warm their own simulation caches.
+    """
+    fabbed = process.apply_array(pattern, corner)
+    alpha_bg = alpha_of_temperature(corner.temperature_k)
+    powers = {
+        d: device.port_powers_array(fabbed, d, alpha_bg)
+        for d in device.directions
+    }
+    return device.fom(powers), powers
+
+
 def evaluate_post_fab(
     device: PhotonicDevice,
     process: FabricationProcess,
@@ -72,6 +110,7 @@ def evaluate_post_fab(
     n_samples: int = 20,
     seed: int = 1234,
     t_delta: float = 30.0,
+    executor: CornerExecutor | str | None = None,
 ) -> RobustnessReport:
     """Expected post-fabrication performance of a design pattern.
 
@@ -86,26 +125,38 @@ def evaluate_post_fab(
         Monte-Carlo draws (paper uses 20).
     seed:
         Evaluation seed, independent of the optimization seed.
+    executor:
+        Sample fan-out backend (``None``/``"serial"``, ``"thread"``,
+        ``"process"``, or a :class:`~repro.core.executors.CornerExecutor`).
+        All corners are drawn *before* the fan-out and results reduce in
+        sample order, so the report is bit-identical for every backend
+        and worker count.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
     pattern = np.asarray(pattern, dtype=np.float64)
     rng = rng_from_seed(seed)
+    corners = [
+        sample_corner(rng, process.eole.n_terms, t_delta, index=i)
+        for i in range(n_samples)
+    ]
+
+    pool = make_executor(executor)
+    # functools.partial of a module-level function pickles, so the same
+    # task object serves the thread and process backends.
+    task = functools.partial(_evaluate_sample, device, process, pattern)
+    try:
+        results = pool.map_ordered(task, corners)
+    finally:
+        if not isinstance(executor, CornerExecutor):
+            pool.shutdown()
+
     foms = np.zeros(n_samples)
     power_sums: dict[str, dict[str, float]] = {
         d: {} for d in device.directions
     }
-    corners: list[VariationCorner] = []
-    for i in range(n_samples):
-        corner = sample_corner(rng, process.eole.n_terms, t_delta, index=i)
-        corners.append(corner)
-        fabbed = process.apply_array(pattern, corner)
-        alpha_bg = alpha_of_temperature(corner.temperature_k)
-        powers = {
-            d: device.port_powers_array(fabbed, d, alpha_bg)
-            for d in device.directions
-        }
-        foms[i] = device.fom(powers)
+    for i, (fom, powers) in enumerate(results):
+        foms[i] = fom
         for d, dp in powers.items():
             for name, value in dp.items():
                 power_sums[d][name] = power_sums[d].get(name, 0.0) + value
@@ -113,7 +164,12 @@ def evaluate_post_fab(
         d: {name: total / n_samples for name, total in dp.items()}
         for d, dp in power_sums.items()
     }
-    return RobustnessReport(foms=foms, mean_powers=mean_powers, corners=corners)
+    return RobustnessReport(
+        foms=foms,
+        mean_powers=mean_powers,
+        corners=corners,
+        fom_lower_is_better=device.fom_lower_is_better,
+    )
 
 
 def evaluate_ideal(

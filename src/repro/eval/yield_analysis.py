@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.executors import CornerExecutor
 from repro.devices.base import PhotonicDevice
 from repro.eval.montecarlo import RobustnessReport, evaluate_post_fab
 from repro.fab.process import FabricationProcess
@@ -62,6 +63,7 @@ def estimate_yield(
     n_samples: int = 50,
     seed: int = 2024,
     report: RobustnessReport | None = None,
+    executor: CornerExecutor | str | None = None,
 ) -> YieldReport:
     """Monte-Carlo yield of a design against a FoM spec.
 
@@ -72,10 +74,19 @@ def estimate_yield(
         lower-is-better devices, at most) this value.
     report:
         Reuse an existing Monte-Carlo report instead of re-simulating.
+    executor:
+        Sample fan-out backend forwarded to
+        :func:`~repro.eval.montecarlo.evaluate_post_fab` (results are
+        backend-independent).
     """
     if report is None:
         report = evaluate_post_fab(
-            device, process, pattern, n_samples=n_samples, seed=seed
+            device,
+            process,
+            pattern,
+            n_samples=n_samples,
+            seed=seed,
+            executor=executor,
         )
     mask = _passes(report.foms, spec, device.fom_lower_is_better)
     return YieldReport(
@@ -93,6 +104,7 @@ def yield_curve(
     specs: np.ndarray | list[float],
     n_samples: int = 50,
     seed: int = 2024,
+    executor: CornerExecutor | str | None = None,
 ) -> list[YieldReport]:
     """Yield as a function of the spec — one shared Monte-Carlo draw.
 
@@ -103,7 +115,8 @@ def yield_curve(
     if not specs:
         raise ValueError("need at least one spec")
     report = evaluate_post_fab(
-        device, process, pattern, n_samples=n_samples, seed=seed
+        device, process, pattern, n_samples=n_samples, seed=seed,
+        executor=executor,
     )
     return [
         estimate_yield(

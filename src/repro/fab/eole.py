@@ -67,6 +67,17 @@ class EOLEField:
         self.basis = self._build_basis(n_terms)
         self._op = custom_vjp(self._forward, self._vjp, name="eole_field")
 
+    # The custom-vjp op is a local closure; rebuild it after unpickling
+    # (process-backend evaluation ships the fabrication chain to workers).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_op", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._op = custom_vjp(self._forward, self._vjp, name="eole_field")
+
     # ------------------------------------------------------------------ #
     @property
     def n_terms(self) -> int:

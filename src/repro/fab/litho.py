@@ -118,6 +118,17 @@ class AbbeLithography:
         self._kernels, self._weights = self._build_kernels()
         self._op = custom_vjp(self._forward, self._vjp, name="abbe_litho")
 
+    # The custom-vjp op is a local closure; rebuild it after unpickling
+    # (process-backend evaluation ships the fabrication chain to workers).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_op", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._op = custom_vjp(self._forward, self._vjp, name="abbe_litho")
+
     # ------------------------------------------------------------------ #
     @property
     def cutoff_cycles_per_um(self) -> float:
@@ -214,6 +225,15 @@ class GaussianLithography:
         self.dl = float(dl)
         self.blur_radius_um = float(blur_radius_um)
         self._kernel_hat = self._build_kernel_hat()
+        self._op = custom_vjp(self._forward, self._vjp, name="gauss_litho")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_op", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
         self._op = custom_vjp(self._forward, self._vjp, name="gauss_litho")
 
     def _build_kernel_hat(self) -> np.ndarray:

@@ -17,18 +17,26 @@ full permittivity map — the mechanism that makes inverse design tractable
 
 from repro.fdfd.grid import SimGrid
 from repro.fdfd.pml import PMLSpec, stretch_factors
-from repro.fdfd.operators import build_derivative_ops
+from repro.fdfd.operators import build_derivative_ops, laplacian_from_ops
 from repro.fdfd.solver import HelmholtzSolver, FdfdFields
 from repro.fdfd.modes import SlabModeSolver, WaveguideMode
 from repro.fdfd.sources import ModeLineSource
 from repro.fdfd.monitors import ModeOverlapMonitor, poynting_flux_x, poynting_flux_y
-from repro.fdfd.adjoint import PortPowerProblem, PortSpec
+from repro.fdfd.adjoint import PortInfrastructure, PortPowerProblem, PortSpec
+from repro.fdfd.workspace import (
+    FactorOptions,
+    FdfdAssembly,
+    SimulationWorkspace,
+    reset_shared_workspace,
+    shared_workspace,
+)
 
 __all__ = [
     "SimGrid",
     "PMLSpec",
     "stretch_factors",
     "build_derivative_ops",
+    "laplacian_from_ops",
     "HelmholtzSolver",
     "FdfdFields",
     "SlabModeSolver",
@@ -37,6 +45,12 @@ __all__ = [
     "ModeOverlapMonitor",
     "poynting_flux_x",
     "poynting_flux_y",
+    "PortInfrastructure",
     "PortPowerProblem",
     "PortSpec",
+    "FactorOptions",
+    "FdfdAssembly",
+    "SimulationWorkspace",
+    "shared_workspace",
+    "reset_shared_workspace",
 ]

@@ -23,7 +23,11 @@ because ``dA/deps_i = omega^2`` on the diagonal.  For normalized powers
 
 The mode profiles and the calibration power ``P_in`` are computed on
 cross-sections *outside* the design region, so they are constants of the
-design and do not contribute gradient terms.
+design and do not contribute gradient terms.  That same fact makes the
+port *infrastructure* — slab modes, overlap monitors, source current
+sheets — invariant across the optimization: :meth:`PortPowerProblem.prepare`
+computes it once and every subsequent :meth:`PortPowerProblem.solve`
+reuses it instead of re-running the eigensolves.
 """
 
 from __future__ import annotations
@@ -39,8 +43,14 @@ from repro.fdfd.monitors import ModeOverlapMonitor
 from repro.fdfd.pml import PMLSpec
 from repro.fdfd.solver import FdfdFields, HelmholtzSolver
 from repro.fdfd.sources import ModeLineSource
+from repro.fdfd.workspace import SimulationWorkspace, shared_workspace
 
-__all__ = ["PortSpec", "PortPowerProblem", "PortPowerSolution"]
+__all__ = [
+    "PortSpec",
+    "PortPowerProblem",
+    "PortPowerSolution",
+    "PortInfrastructure",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +95,20 @@ class PortSpec:
 
 
 @dataclass
+class PortInfrastructure:
+    """Precomputed port machinery for one permittivity *environment*.
+
+    Valid for every permittivity map that agrees with the one it was
+    built from on the port and source cross-sections — in an inverse
+    design run, all of them, because ports lie outside the design
+    region.  Build with :meth:`PortPowerProblem.prepare`.
+    """
+
+    monitors: dict[str, ModeOverlapMonitor] = field(repr=False)
+    source_jz: np.ndarray = field(repr=False)
+
+
+@dataclass
 class PortPowerSolution:
     """Forward-solve results kept for the adjoint pass."""
 
@@ -117,6 +141,10 @@ class PortPowerProblem:
         (it need not be in ``ports``).
     pml:
         PML specification.
+    workspace:
+        Cache provider threaded into every solver construction and slab
+        mode solve.  ``"shared"`` (default) uses the process-wide
+        workspace; ``None`` disables caching (cold path).
     """
 
     def __init__(
@@ -126,6 +154,7 @@ class PortPowerProblem:
         ports: Sequence[PortSpec],
         source_port: PortSpec,
         pml: PMLSpec | None = None,
+        workspace: SimulationWorkspace | None | str = "shared",
     ):
         names = [p.name for p in ports]
         if len(set(names)) != len(names):
@@ -135,6 +164,9 @@ class PortPowerProblem:
         self.ports = tuple(ports)
         self.source_port = source_port
         self.pml = pml or PMLSpec()
+        self.workspace = (
+            shared_workspace() if workspace == "shared" else workspace
+        )
 
     # ------------------------------------------------------------------ #
     # Geometry helpers                                                    #
@@ -159,6 +191,10 @@ class PortPowerProblem:
             eps_line = np.asarray(eps_r)[plane, span]
         else:
             eps_line = np.asarray(eps_r)[span, plane]
+        if self.workspace is not None:
+            return self.workspace.slab_mode(
+                eps_line, self.grid.dl, self.omega, port.mode_order
+            )
         return SlabModeSolver(eps_line, self.grid.dl, self.omega).mode(
             port.mode_order
         )
@@ -179,12 +215,33 @@ class PortPowerProblem:
         ).current(amplitude)
 
     # ------------------------------------------------------------------ #
+    # Port infrastructure                                                 #
+    # ------------------------------------------------------------------ #
+    def prepare(self, eps_r: np.ndarray) -> PortInfrastructure:
+        """Precompute monitors and the source sheet for an environment.
+
+        ``eps_r`` only needs to be correct on the port and source
+        cross-sections; pass the result to :meth:`solve` to skip the
+        per-solve eigensolves and monitor construction.
+        """
+        monitors = {
+            port.name: self.monitor_for_port(port, eps_r)
+            for port in self.ports
+        }
+        for monitor in monitors.values():
+            monitor.weight_vector()  # materialize once, share thereafter
+        return PortInfrastructure(
+            monitors=monitors, source_jz=self.source_current(eps_r)
+        )
+
+    # ------------------------------------------------------------------ #
     # Forward                                                             #
     # ------------------------------------------------------------------ #
     def solve(
         self,
         eps_r: np.ndarray,
         incident_ez: np.ndarray | None = None,
+        infra: PortInfrastructure | None = None,
     ) -> PortPowerSolution:
         """Forward solve; returns powers at every port.
 
@@ -195,15 +252,23 @@ class PortPowerProblem:
         incident_ez:
             Calibration-run field, required if any port has
             ``subtract_incident=True``.
+        infra:
+            Precomputed port infrastructure from :meth:`prepare`.  The
+            caller asserts it matches ``eps_r`` on the port planes
+            (guaranteed when ports lie outside the design region); when
+            omitted, monitors and the source are rebuilt from ``eps_r``.
         """
-        solver = HelmholtzSolver(self.grid, eps_r, self.omega, self.pml)
-        fields = solver.solve(self.source_current(eps_r))
+        solver = HelmholtzSolver(
+            self.grid, eps_r, self.omega, self.pml, workspace=self.workspace
+        )
+        if infra is None:
+            infra = self.prepare(eps_r)
+        fields = solver.solve(infra.source_jz)
 
         amplitudes: dict[str, complex] = {}
         raw_powers: dict[str, float] = {}
-        monitors: dict[str, ModeOverlapMonitor] = {}
         for port in self.ports:
-            monitor = self.monitor_for_port(port, eps_r)
+            monitor = infra.monitors[port.name]
             ez = fields.ez
             if port.subtract_incident:
                 if incident_ez is None:
@@ -215,13 +280,12 @@ class PortPowerProblem:
             a = monitor.amplitude(ez)
             amplitudes[port.name] = a
             raw_powers[port.name] = monitor.mode.power_of_amplitude(a)
-            monitors[port.name] = monitor
         return PortPowerSolution(
             solver=solver,
             fields=fields,
             amplitudes=amplitudes,
             raw_powers=raw_powers,
-            monitors=monitors,
+            monitors=dict(infra.monitors),
         )
 
     # ------------------------------------------------------------------ #

@@ -50,16 +50,23 @@ class ModeOverlapMonitor:
         self.plane_index = int(plane_index)
         self.span = span
         self.mode = mode
+        self._weight: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     def weight_vector(self) -> np.ndarray:
-        """The (real) functional ``w`` with ``a = w . ez_flat``."""
-        w = np.zeros(self.grid.shape, dtype=np.float64)
-        if self.axis == "x":
-            w[self.plane_index, self.span] = self.mode.profile * self.grid.dl
-        else:
-            w[self.span, self.plane_index] = self.mode.profile * self.grid.dl
-        return w.ravel()
+        """The (real) functional ``w`` with ``a = w . ez_flat``.
+
+        Computed once per monitor and reused by every amplitude and
+        adjoint evaluation (do not mutate the returned array).
+        """
+        if self._weight is None:
+            w = np.zeros(self.grid.shape, dtype=np.float64)
+            if self.axis == "x":
+                w[self.plane_index, self.span] = self.mode.profile * self.grid.dl
+            else:
+                w[self.span, self.plane_index] = self.mode.profile * self.grid.dl
+            self._weight = w.ravel()
+        return self._weight
 
     def amplitude(self, ez: np.ndarray) -> complex:
         """Modal amplitude of a field array (full grid, complex)."""

@@ -14,7 +14,7 @@ import scipy.sparse as sp
 from repro.fdfd.grid import SimGrid
 from repro.fdfd.pml import PMLSpec, stretch_factors
 
-__all__ = ["first_diff_1d", "build_derivative_ops"]
+__all__ = ["first_diff_1d", "build_derivative_ops", "laplacian_from_ops"]
 
 
 def first_diff_1d(n: int, dl: float, forward: bool) -> sp.csr_matrix:
@@ -71,3 +71,13 @@ def build_derivative_ops(
         "dyb": sp.kron(eye_x, syb_inv @ dyb_1d, format="csr"),
     }
     return ops
+
+
+def laplacian_from_ops(ops: dict[str, sp.csr_matrix]) -> sp.csr_matrix:
+    """The PML-stretched Laplacian ``Dxb Dxf + Dyb Dyf``.
+
+    The single definition shared by the cold solver path and the cached
+    :class:`~repro.fdfd.workspace.FdfdAssembly`, so both produce the
+    same bits.
+    """
+    return ops["dxb"] @ ops["dxf"] + ops["dyb"] @ ops["dyf"]

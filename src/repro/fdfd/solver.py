@@ -8,6 +8,14 @@ The discretized operator is
 vector for a current sheet ``Jz`` is ``b = -i omega Jz``.  One LU
 factorization serves both the forward solve and the transposed (adjoint)
 solve, which is the key runtime trick of adjoint inverse design.
+
+Repeated solves on the same window go through a
+:class:`~repro.fdfd.workspace.SimulationWorkspace` (the process-shared
+one by default): the derivative operators and Laplacian are built once
+per ``(grid, omega, pml)``, each corner's system matrix is assembled by
+a single diagonal update, and identical permittivities share one LU.
+Pass ``workspace=None`` to force the cold, cache-free path (it produces
+bit-identical matrices and fields — the caches are content-addressed).
 """
 
 from __future__ import annotations
@@ -16,11 +24,16 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from repro.fdfd.grid import SimGrid
-from repro.fdfd.operators import build_derivative_ops
+from repro.fdfd.operators import build_derivative_ops, laplacian_from_ops
 from repro.fdfd.pml import PMLSpec
+from repro.fdfd.workspace import (
+    FactorOptions,
+    SimulationWorkspace,
+    default_factor_options,
+    shared_workspace,
+)
 
 __all__ = ["HelmholtzSolver", "FdfdFields"]
 
@@ -55,6 +68,16 @@ class HelmholtzSolver:
         Angular frequency in natural units (``2 pi / lambda_um``).
     pml:
         PML ramp specification.
+    workspace:
+        Cache provider.  ``"shared"`` (default) uses the process-wide
+        :func:`~repro.fdfd.workspace.shared_workspace`; pass a private
+        :class:`~repro.fdfd.workspace.SimulationWorkspace` for isolated
+        caching, or ``None`` to rebuild everything per solver (the seed
+        behaviour, used by cold-path benchmarks and identity tests).
+    factor_options:
+        SuperLU configuration for the *cold* path; a workspace applies
+        its own ``factor_options`` so that cached factorizations are
+        consistent.
 
     Notes
     -----
@@ -70,6 +93,8 @@ class HelmholtzSolver:
         eps_r: np.ndarray,
         omega: float,
         pml: PMLSpec | None = None,
+        workspace: SimulationWorkspace | None | str = "shared",
+        factor_options: FactorOptions | None = None,
     ):
         eps_r = np.asarray(eps_r, dtype=np.float64)
         if eps_r.shape != grid.shape:
@@ -81,16 +106,27 @@ class HelmholtzSolver:
         self.grid = grid
         self.omega = float(omega)
         self.eps_r = eps_r
+        if workspace == "shared":
+            workspace = shared_workspace()
 
-        ops = build_derivative_ops(grid, self.omega, pml)
-        laplacian = ops["dxb"] @ ops["dxf"] + ops["dyb"] @ ops["dyf"]
-        self._dxf = ops["dxf"]
-        self._dyf = ops["dyf"]
-        self.system_matrix = (
-            laplacian
-            + sp.diags(self.omega**2 * eps_r.ravel(), format="csr")
-        ).tocsc()
-        self._lu = spla.splu(self.system_matrix)
+        if workspace is not None:
+            assembly = workspace.assembly(grid, self.omega, pml)
+            self._dxf = assembly.ops["dxf"]
+            self._dyf = assembly.ops["dyf"]
+            self._lu, self.system_matrix = workspace.factorize(
+                assembly, eps_r
+            )
+        else:
+            ops = build_derivative_ops(grid, self.omega, pml)
+            laplacian = laplacian_from_ops(ops)
+            self._dxf = ops["dxf"]
+            self._dyf = ops["dyf"]
+            self.system_matrix = (
+                laplacian
+                + sp.diags(self.omega**2 * eps_r.ravel(), format="csr")
+            ).tocsc()
+            options = factor_options or default_factor_options()
+            self._lu = options.splu(self.system_matrix)
 
     # ------------------------------------------------------------------ #
     def solve(self, source_jz: np.ndarray) -> FdfdFields:

@@ -1,0 +1,351 @@
+"""Simulation workspace: cross-solve caches for the FDFD stack.
+
+The variation-aware inner loop re-solves the same *window* hundreds of
+times: every fabrication corner and every Monte-Carlo sample shares the
+grid, the frequency and the PML ramp, and only the permittivity diagonal
+changes.  The seed implementation rebuilt everything per solve; this
+module caches the invariants:
+
+``FdfdAssembly``
+    The PML-stretched derivative operators and the precomputed Laplacian
+    ``Dxb Dxf + Dyb Dyf`` for one ``(grid, omega, pml)`` key, plus the
+    CSC diagonal positions needed to assemble
+    ``A = L + diag(omega^2 eps)`` with a single vectorized data update —
+    no sparse matmuls, no sparse add, no format conversion per solve.
+
+``SimulationWorkspace``
+    Bounded LRU caches for assemblies, slab-mode solves (port
+    cross-sections are outside the design region, so their modes are
+    constants of an optimization) and LU factorizations keyed by the
+    permittivity bytes (corners sharing a permittivity — e.g. the
+    worst-corner probe and the nominal corner, or the two directions of
+    a reciprocal device — factorize once).
+
+``FactorOptions``
+    SuperLU configuration.  The default exploits the near-symmetry of
+    the Helmholtz operator (``MMD_AT_PLUS_A`` ordering + symmetric mode
+    + relaxed diagonal pivoting), which roughly halves factorization
+    time at machine-precision residuals; ``FactorOptions.reference()``
+    restores SciPy's COLAMD default.
+
+Every cache is content-addressed, so a warm workspace returns the same
+bits as a cold build — tests assert bit-for-bit identity of matrices,
+fields and gradients.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.fdfd.grid import SimGrid
+from repro.fdfd.modes import SlabModeSolver, WaveguideMode
+from repro.fdfd.operators import build_derivative_ops, laplacian_from_ops
+from repro.fdfd.pml import PMLSpec
+
+__all__ = [
+    "FactorOptions",
+    "FdfdAssembly",
+    "SimulationWorkspace",
+    "shared_workspace",
+    "reset_shared_workspace",
+    "default_factor_options",
+    "set_default_factor_options",
+]
+
+
+@dataclass(frozen=True)
+class FactorOptions:
+    """SuperLU factorization configuration.
+
+    Parameters
+    ----------
+    permc_spec:
+        Column permutation strategy.  ``MMD_AT_PLUS_A`` suits the
+        nearly-symmetric Helmholtz operator; ``COLAMD`` is SciPy's
+        general-purpose default.
+    diag_pivot_thresh:
+        Partial-pivoting threshold in [0, 1]; small values keep pivots
+        on the diagonal, preserving the symmetric ordering's fill-in.
+    symmetric_mode:
+        Enable SuperLU's symmetric-pattern heuristics.
+    """
+
+    permc_spec: str = "MMD_AT_PLUS_A"
+    diag_pivot_thresh: float = 0.1
+    symmetric_mode: bool = True
+
+    @classmethod
+    def reference(cls) -> "FactorOptions":
+        """SciPy's default configuration (COLAMD, full partial pivoting)."""
+        return cls(
+            permc_spec="COLAMD", diag_pivot_thresh=1.0, symmetric_mode=False
+        )
+
+    def splu(self, matrix: sp.csc_matrix) -> spla.SuperLU:
+        """Factorize a CSC matrix with these options."""
+        return spla.splu(
+            matrix,
+            permc_spec=self.permc_spec,
+            options=dict(
+                SymmetricMode=self.symmetric_mode,
+                DiagPivotThresh=self.diag_pivot_thresh,
+            ),
+        )
+
+
+_DEFAULT_FACTOR_OPTIONS = FactorOptions()
+
+
+def default_factor_options() -> FactorOptions:
+    """The process-wide factorization configuration."""
+    return _DEFAULT_FACTOR_OPTIONS
+
+
+def set_default_factor_options(options: FactorOptions) -> FactorOptions:
+    """Replace the process-wide default; returns the previous value.
+
+    Used by benchmarks to time the seed-reference configuration
+    (``FactorOptions.reference()``) against the tuned default.
+    """
+    global _DEFAULT_FACTOR_OPTIONS
+    previous = _DEFAULT_FACTOR_OPTIONS
+    _DEFAULT_FACTOR_OPTIONS = options
+    return previous
+
+
+class FdfdAssembly:
+    """Prebuilt operators + Laplacian for one ``(grid, omega, pml)``.
+
+    The precomputed pieces let :meth:`system_matrix` assemble
+    ``A = L + diag(omega^2 eps)`` by copying the cached CSC Laplacian and
+    adding the diagonal in place — bit-identical to the cold
+    ``(L + diags(...)).tocsc()`` path (asserted by the test suite)
+    because sparse addition and format conversion commute when the
+    diagonal pattern is a subset of ``L``'s.
+    """
+
+    def __init__(self, grid: SimGrid, omega: float, pml: PMLSpec):
+        self.grid = grid
+        self.omega = float(omega)
+        self.pml = pml
+        self.ops = build_derivative_ops(grid, self.omega, pml)
+        self.laplacian = laplacian_from_ops(self.ops)
+        self._laplacian_csc = self.laplacian.tocsc()
+        self._laplacian_csc.sort_indices()
+        self._diag_positions = self._locate_diagonal(self._laplacian_csc)
+
+    @staticmethod
+    def _locate_diagonal(mat: sp.csc_matrix) -> np.ndarray | None:
+        """Data-array index of entry ``(i, i)`` per column, else ``None``.
+
+        The 3-point Laplacian always stores its main diagonal, but a
+        degenerate operator set (e.g. a future masked variant) might
+        not; in that case the slow sparse-add path is used instead.
+        """
+        n = mat.shape[0]
+        cols = np.repeat(np.arange(n), np.diff(mat.indptr))
+        positions = np.flatnonzero(mat.indices == cols)
+        if positions.size != n:
+            return None
+        return positions
+
+    # ------------------------------------------------------------------ #
+    def system_matrix(self, eps_r: np.ndarray) -> sp.csc_matrix:
+        """``A = L + diag(omega^2 eps_r)`` in CSC format."""
+        diag = self.omega**2 * np.asarray(eps_r, dtype=np.float64).ravel()
+        if self._diag_positions is None:
+            return (
+                self.laplacian + sp.diags(diag, format="csr")
+            ).tocsc()
+        matrix = self._laplacian_csc.copy()
+        matrix.data[self._diag_positions] += diag
+        return matrix
+
+
+def _hash_array(arr: np.ndarray) -> bytes:
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(arr).view(np.uint8).data)
+    return digest.digest()
+
+
+class _LRUCache:
+    """A tiny thread-safe LRU map (inserted-value cache)."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._store: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value):
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+class SimulationWorkspace:
+    """Shared caches for repeated FDFD solves on the same window.
+
+    Parameters
+    ----------
+    max_assemblies:
+        Distinct ``(grid, omega, pml)`` operator sets to keep.
+    max_factorizations:
+        LU factorizations retained, keyed by permittivity content.  One
+        optimizer iteration revisits a permittivity at most a handful of
+        times (worst-probe + nominal corner, fwd/bwd directions), so a
+        small bound suffices; factorizations of superseded patterns age
+        out on their own.
+    max_modes:
+        Slab-mode solutions retained, keyed by cross-section content.
+    factor_options:
+        SuperLU configuration used for every factorization created
+        through this workspace.
+
+    Notes
+    -----
+    The workspace deliberately survives pickling as an *empty* shell
+    (caches are dropped): LU objects are not picklable, and worker
+    processes re-warm their own caches.
+    """
+
+    def __init__(
+        self,
+        max_assemblies: int = 8,
+        max_factorizations: int = 8,
+        max_modes: int = 64,
+        factor_options: FactorOptions | None = None,
+    ):
+        self.factor_options = factor_options or default_factor_options()
+        self._assemblies = _LRUCache(max_assemblies)
+        self._factorizations = _LRUCache(max_factorizations)
+        self._modes = _LRUCache(max_modes)
+
+    # ------------------------------------------------------------------ #
+    def assembly(
+        self, grid: SimGrid, omega: float, pml: PMLSpec | None = None
+    ) -> FdfdAssembly:
+        """The cached operator set for one window configuration."""
+        pml = pml or PMLSpec()
+        key = (grid, round(float(omega), 12), pml)
+        cached = self._assemblies.get(key)
+        if cached is None:
+            cached = FdfdAssembly(grid, omega, pml)
+            self._assemblies.put(key, cached)
+        return cached
+
+    def factorize(
+        self, assembly: FdfdAssembly, eps_r: np.ndarray
+    ) -> tuple[spla.SuperLU, sp.csc_matrix]:
+        """LU of the system matrix, shared across identical permittivities."""
+        key = (
+            assembly.grid,
+            round(assembly.omega, 12),
+            assembly.pml,
+            _hash_array(np.asarray(eps_r, dtype=np.float64)),
+        )
+        cached = self._factorizations.get(key)
+        if cached is None:
+            matrix = assembly.system_matrix(eps_r)
+            cached = (self.factor_options.splu(matrix), matrix)
+            self._factorizations.put(key, cached)
+        return cached
+
+    def slab_mode(
+        self, eps_line: np.ndarray, dl: float, omega: float, order: int
+    ) -> WaveguideMode:
+        """Cached 1-D eigenmode solve on a cross-section."""
+        eps_line = np.asarray(eps_line, dtype=np.float64)
+        key = (
+            _hash_array(eps_line),
+            eps_line.size,
+            round(float(dl), 12),
+            round(float(omega), 12),
+            int(order),
+        )
+        cached = self._modes.get(key)
+        if cached is None:
+            cached = SlabModeSolver(eps_line, dl, omega).mode(order)
+            self._modes.put(key, cached)
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters per cache (benchmark evidence)."""
+        return {
+            name: {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
+            for name, cache in (
+                ("assemblies", self._assemblies),
+                ("factorizations", self._factorizations),
+                ("modes", self._modes),
+            )
+        }
+
+    def clear(self) -> None:
+        self._assemblies.clear()
+        self._factorizations.clear()
+        self._modes.clear()
+
+    # Pickling support: ship an empty workspace (LU objects cannot be
+    # pickled; worker processes re-warm their own caches).
+    def __getstate__(self):
+        return {
+            "factor_options": self.factor_options,
+            "max_assemblies": self._assemblies.maxsize,
+            "max_factorizations": self._factorizations.maxsize,
+            "max_modes": self._modes.maxsize,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            max_assemblies=state["max_assemblies"],
+            max_factorizations=state["max_factorizations"],
+            max_modes=state["max_modes"],
+            factor_options=state["factor_options"],
+        )
+
+
+_SHARED = SimulationWorkspace()
+
+
+def shared_workspace() -> SimulationWorkspace:
+    """The process-wide default workspace."""
+    return _SHARED
+
+
+def reset_shared_workspace() -> SimulationWorkspace:
+    """Drop every shared cache (tests / benchmarks).
+
+    Clears the shared instance *in place* so that every device, problem
+    and solver holding a reference to it goes cold too, and returns it.
+    """
+    _SHARED.clear()
+    return _SHARED

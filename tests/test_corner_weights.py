@@ -65,8 +65,8 @@ class TestEngineWeightedAggregation:
             OptimizerConfig(sampling="nominal", **base),
         )
         theta = Tensor(heavy.theta.copy())
-        loss_heavy, _ = heavy.loss(theta, 0)
-        loss_nominal, _ = nominal_only.loss(theta, 0)
+        loss_heavy, _, _ = heavy.loss(theta, 0)
+        loss_nominal, _, _ = nominal_only.loss(theta, 0)
         assert loss_heavy.item() == pytest.approx(
             loss_nominal.item(), rel=1e-3
         )

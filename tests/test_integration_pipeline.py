@@ -55,11 +55,11 @@ class TestFullChainGradient:
 
         def loss_value(theta_np):
             t = Tensor(theta_np)
-            loss, _ = opt.loss(t, iteration=0)
+            loss, _, _ = opt.loss(t, iteration=0)
             return loss.item()
 
         theta_t = Tensor(theta0.copy(), requires_grad=True)
-        loss, _ = opt.loss(theta_t, iteration=0)
+        loss, _, _ = opt.loss(theta_t, iteration=0)
         loss.backward()
         grad = theta_t.grad
         assert grad is not None
@@ -83,7 +83,7 @@ class TestFullChainGradient:
         )
         opt = Boson1Optimizer(bend, config)
         theta_t = Tensor(opt.theta.copy(), requires_grad=True)
-        loss, _ = opt.loss(theta_t, iteration=0)
+        loss, _, _ = opt.loss(theta_t, iteration=0)
         loss.backward()
         assert theta_t.grad is not None
         assert np.abs(theta_t.grad).max() > 0
@@ -167,17 +167,17 @@ class TestLossComposition:
         theta_t = Tensor(opt.theta.copy())
 
         # iteration 0 -> p = 0 (pure ideal)
-        loss_p0, _ = opt.loss(theta_t, iteration=0)
+        loss_p0, _, _ = opt.loss(theta_t, iteration=0)
         rho = opt.decode(theta_t)
         ideal, _ = opt._ideal_loss(rho)
         assert loss_p0.item() == pytest.approx(ideal.item(), rel=1e-9)
 
         # iteration >= relax_epochs -> p = 1 (pure fab)
-        loss_p1, _ = opt.loss(theta_t, iteration=10)
+        loss_p1, _, _ = opt.loss(theta_t, iteration=10)
         fab, _ = opt._corner_loss(rho, VariationCorner("nominal"))
         assert loss_p1.item() == pytest.approx(fab.item(), rel=1e-9)
 
         # halfway: strictly between (generic case)
-        loss_mid, _ = opt.loss(theta_t, iteration=5)
+        loss_mid, _, _ = opt.loss(theta_t, iteration=5)
         lo, hi = sorted([ideal.item(), fab.item()])
         assert lo - 1e-9 <= loss_mid.item() <= hi + 1e-9

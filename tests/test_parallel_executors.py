@@ -1,0 +1,250 @@
+"""Executor backends, deterministic fan-out, and cached-trajectory identity.
+
+Two contracts under test:
+
+1. **Backend independence** — serial / thread / process executors give
+   bit-identical results for the engine loss, full optimization
+   trajectories and Monte-Carlo evaluation, for any worker count.
+2. **Cache independence** — a full ``Boson1Optimizer`` run with the
+   simulation cache on matches the cold rebuild-everything path
+   bit-for-bit (same seed => identical ``fom_trace``), for both
+   parameterizations and across temperature (``alpha_bg``) corners.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.core.executors import (
+    EXECUTOR_BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.devices import make_device
+from repro.eval import evaluate_post_fab
+from repro.fab.process import FabricationProcess
+from repro.fdfd import SimulationWorkspace
+from repro.params import rasterize_segments
+
+
+def _square(x):
+    return x * x
+
+
+class TestMakeExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+
+    def test_backend_selection(self):
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+
+    def test_worker_count_suffix(self):
+        ex = make_executor("thread:3")
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.max_workers == 3
+
+    def test_explicit_worker_count(self):
+        assert make_executor("thread", max_workers=2).max_workers == 2
+
+    def test_passthrough_instance(self):
+        ex = SerialExecutor()
+        assert make_executor(ex) is ex
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+        with pytest.raises(ValueError):
+            make_executor("thread:zero")
+        with pytest.raises(ValueError):
+            make_executor("thread:0")
+
+    def test_registry_names(self):
+        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process"}
+
+
+class TestMapOrdered:
+    @pytest.mark.parametrize("spec", ["serial", "thread:2", "thread:5"])
+    def test_order_preserved(self, spec):
+        items = list(range(20))
+        with make_executor(spec) as ex:
+            assert ex.map_ordered(_square, items) == [i * i for i in items]
+
+    def test_thread_results_match_serial_under_jitter(self):
+        def jittery(i):
+            time.sleep(0.002 * (5 - i % 5))  # finish out of order
+            return i * 10
+
+        items = list(range(10))
+        serial = SerialExecutor().map_ordered(jittery, items)
+        with make_executor("thread:4") as ex:
+            assert ex.map_ordered(jittery, items) == serial
+
+    def test_process_backend(self):
+        with make_executor("process:2") as ex:
+            assert ex.map_ordered(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_pool_reusable_after_shutdown(self):
+        ex = make_executor("thread:2")
+        assert ex.map_ordered(_square, [2, 3]) == [4, 9]
+        ex.shutdown()
+        assert ex.map_ordered(_square, [4]) == [16]
+        ex.shutdown()
+
+
+class TestConfigValidation:
+    def test_engine_accepts_serial_and_thread(self):
+        OptimizerConfig(corner_executor="serial")
+        OptimizerConfig(corner_executor="thread:2")
+
+    def test_engine_rejects_process(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(corner_executor="process")
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(executor_workers=0)
+
+
+@pytest.fixture(scope="module")
+def bend():
+    return make_device("bending")
+
+
+def _run(device, **overrides):
+    base = dict(iterations=2, seed=11)
+    base.update(overrides)
+    opt = Boson1Optimizer(device, OptimizerConfig(**base))
+    result = opt.run()
+    opt.close()
+    return result
+
+
+class TestEngineDeterminism:
+    def test_thread_matches_serial_bitwise(self, bend):
+        serial = _run(bend, corner_executor="serial")
+        threaded = _run(bend, corner_executor="thread:4")
+        assert np.array_equal(serial.fom_trace(), threaded.fom_trace())
+        assert np.array_equal(serial.loss_trace(), threaded.loss_trace())
+        assert np.array_equal(serial.pattern, threaded.pattern)
+
+    def test_worker_count_irrelevant(self, bend):
+        two = _run(bend, corner_executor="thread:2")
+        five = _run(bend, corner_executor="thread:5")
+        assert np.array_equal(two.loss_trace(), five.loss_trace())
+
+    def test_n_corners_reports_actual_count(self, bend):
+        result = _run(bend, sampling="axial+worst")
+        # axial (7, including nominal) + the worst-finder corner.
+        assert all(r.n_corners == 8 for r in result.history)
+        result = _run(bend, sampling="nominal")
+        assert all(r.n_corners == 1 for r in result.history)
+
+    def test_n_corners_zero_without_fab(self, bend):
+        result = _run(bend, use_fab=False)
+        assert all(r.n_corners == 0 for r in result.history)
+
+
+class TestTrajectoryCacheIdentity:
+    """Satellite: warm trajectories must equal the cold path bit-for-bit."""
+
+    @pytest.mark.parametrize("parameterization", ["levelset", "density"])
+    def test_cold_equals_warm(self, parameterization):
+        results = []
+        for cached in (True, False):
+            device = make_device("bending")
+            device.configure_simulation_cache(cached, SimulationWorkspace())
+            cfg = OptimizerConfig(
+                iterations=2,
+                seed=5,
+                parameterization=parameterization,
+                simulation_cache=cached,
+            )
+            opt = Boson1Optimizer(device, cfg)
+            results.append(opt.run())
+        warm, cold = results
+        assert np.array_equal(warm.fom_trace(), cold.fom_trace())
+        assert np.array_equal(warm.loss_trace(), cold.loss_trace())
+        assert np.array_equal(warm.theta, cold.theta)
+        assert np.array_equal(warm.pattern, cold.pattern)
+
+    def test_cold_equals_warm_across_temperature_corners(self):
+        # axial sampling exercises alpha_bg != 1 calibrations each iteration
+        results = []
+        for cached in (True, False):
+            device = make_device("bending")
+            device.configure_simulation_cache(cached, SimulationWorkspace())
+            cfg = OptimizerConfig(
+                iterations=2,
+                seed=3,
+                sampling="axial",
+                t_delta=30.0,
+                simulation_cache=cached,
+            )
+            results.append(Boson1Optimizer(device, cfg).run())
+        assert np.array_equal(results[0].loss_trace(), results[1].loss_trace())
+        assert np.array_equal(results[0].pattern, results[1].pattern)
+
+
+class TestMonteCarloExecutors:
+    @pytest.fixture(scope="class")
+    def mc_setup(self):
+        device = make_device("bending")
+        process = FabricationProcess(
+            device.design_shape,
+            device.dl,
+            context=device.litho_context(12),
+            pad=12,
+        )
+        pattern = rasterize_segments(
+            device.design_shape, device.dl, device.init_segments()
+        )
+        return device, process, pattern
+
+    def test_thread_matches_serial(self, mc_setup):
+        device, process, pattern = mc_setup
+        serial = evaluate_post_fab(device, process, pattern, 4, seed=2)
+        threaded = evaluate_post_fab(
+            device, process, pattern, 4, seed=2, executor="thread:3"
+        )
+        assert np.array_equal(serial.foms, threaded.foms)
+        assert serial.mean_powers == threaded.mean_powers
+
+    def test_process_matches_serial(self, mc_setup):
+        device, process, pattern = mc_setup
+        serial = evaluate_post_fab(device, process, pattern, 3, seed=2)
+        multiproc = evaluate_post_fab(
+            device, process, pattern, 3, seed=2, executor="process:2"
+        )
+        assert np.array_equal(serial.foms, multiproc.foms)
+
+    def test_executor_instance_reused_not_shut_down(self, mc_setup):
+        device, process, pattern = mc_setup
+        ex = make_executor("thread:2")
+        a = evaluate_post_fab(device, process, pattern, 3, seed=2, executor=ex)
+        b = evaluate_post_fab(device, process, pattern, 3, seed=2, executor=ex)
+        assert np.array_equal(a.foms, b.foms)
+        ex.shutdown()
+
+    def test_worst_fom_polarity(self, mc_setup):
+        device, process, pattern = mc_setup
+        report = evaluate_post_fab(device, process, pattern, 4, seed=2)
+        assert not report.fom_lower_is_better
+        assert report.worst_fom == float(np.min(report.foms))
+        assert report.best_fom == float(np.max(report.foms))
+
+    def test_worst_fom_lower_is_better(self, mc_setup):
+        from repro.eval import RobustnessReport
+
+        report = RobustnessReport(
+            foms=np.array([0.1, 0.5, 0.3]),
+            mean_powers={},
+            fom_lower_is_better=True,
+        )
+        assert report.worst_fom == 0.5
+        assert report.best_fom == 0.1
