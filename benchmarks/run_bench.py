@@ -1,26 +1,31 @@
-"""Perf-evidence runner for the simulation workspace (PR 1).
+"""Perf-evidence runner for the linear-solver subsystem (PR 2).
 
-Times the seed-equivalent cold pipeline against the cached/batched one
-and writes ``BENCH_PR1.json``:
+Times the per-iteration optimizer cost of every registered solver
+backend against the seed-equivalent cold pipeline and writes
+``BENCH_PR2.json``:
 
 * ``solver``     — one HelmholtzSolver construction: seed reference
   (full rebuild + COLAMD) vs. tuned cold vs. warm workspace.
 * ``iteration``  — end-to-end per-iteration wall time of
   ``Boson1Optimizer`` on the bending device with fabrication corners on
-  (the paper's dominant cost), seed-equivalent vs. cached (serial and
-  thread executors).
+  (the paper's dominant cost), seed-equivalent vs. each backend
+  (``direct`` = the PR 1 warm path, ``batched``, ``krylov`` with the
+  nominal-corner LU recycled across corners), with per-run workspace
+  cache hit rates and Krylov convergence statistics.
 * ``montecarlo`` — ``evaluate_post_fab`` wall time, seed-equivalent
   vs. cached.
 
-The seed-equivalent and cached runs are also cross-checked: their FoM
-trajectories must agree to solver precision (bit-identity of cached vs.
-uncached at *equal* factorization settings is asserted separately in
-``tests/test_fdfd_workspace.py``).
+The backends are also cross-checked: ``batched`` must reproduce the
+direct FoM trajectory bit for bit, ``krylov`` to solver precision.
+Finally the iteration numbers are compared against ``BENCH_PR1.json``
+(if present): a slower warm-direct path or a Krylov backend that fails
+to beat it is reported as a REGRESSION and the run exits non-zero.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--iterations N]
-        [--mc-samples N] [--output PATH] [--skip-pytest-bench]
+        [--mc-samples N] [--output PATH] [--baseline PATH]
+        [--skip-pytest-bench]
 
 By default it finishes by running the pytest-benchmark substrate +
 workspace-cache groups (``-m slow``) so their statistics land in the
@@ -53,8 +58,13 @@ from repro.fdfd import (  # noqa: E402
     SimGrid,
     SimulationWorkspace,
 )
-from repro.fdfd.workspace import set_default_factor_options  # noqa: E402
+from repro.fdfd.workspace import (  # noqa: E402
+    reset_shared_workspace,
+    set_default_factor_options,
+)
 from repro.utils.constants import omega_from_wavelength  # noqa: E402
+
+BACKENDS = ("direct", "batched", "krylov")
 
 
 def _time_repeat(fn, repeats: int) -> float:
@@ -98,24 +108,56 @@ def bench_solver(repeats: int = 5) -> dict:
     warm_hit = _time_repeat(
         lambda: HelmholtzSolver(grid, eps, omega, workspace=workspace), repeats
     )
+
+    # One Krylov corner solve against a recycled nominal anchor, for the
+    # headline "sweeps vs. factorization" comparison.
+    kry_ws = SimulationWorkspace(solver_config="krylov")
+    HelmholtzSolver(grid, eps, omega, workspace=kry_ws)  # anchor
+    corner = eps.copy()
+    corner[30:50, 30:50] += 0.5
+    b = rng.standard_normal(grid.n_cells) + 0j
+    kry_state = {"i": 0}
+
+    def krylov_corner_solve():
+        kry_state["i"] += 1
+        bumped = corner.copy()
+        bumped[40, 40] += 1e-9 * kry_state["i"]
+        HelmholtzSolver(grid, bumped, omega, workspace=kry_ws).solve_raw(b)
+
+    krylov_solve = _time_repeat(krylov_corner_solve, repeats)
     return {
         "grid": list(grid.shape),
         "cold_reference_ms": cold_ref * 1e3,
         "cold_tuned_ms": cold_fast * 1e3,
         "warm_new_eps_ms": warm_new * 1e3,
         "warm_lu_hit_ms": warm_hit * 1e3,
+        "krylov_corner_solve_ms": krylov_solve * 1e3,
         "speedup_cold_ref_vs_warm_new_eps": cold_ref / warm_new,
+        "speedup_warm_new_eps_vs_krylov_corner": warm_new / krylov_solve,
     }
 
 
 def _timed_run(config: OptimizerConfig, iterations: int):
+    reset_shared_workspace()
     device = make_device("bending")
     optimizer = Boson1Optimizer(device, config)
     t0 = time.perf_counter()
     result = optimizer.run(iterations=iterations)
     elapsed = time.perf_counter() - t0
     optimizer.close()
-    return elapsed, result
+    stats = device.workspace.stats() if device.workspace is not None else None
+    return elapsed, result, stats
+
+
+def _cache_summary(stats: dict) -> dict:
+    return {
+        name: {
+            "hit_rate_pct": stats[name]["hit_rate_pct"],
+            "hits": stats[name]["hits"],
+            "misses": stats[name]["misses"],
+        }
+        for name in ("assemblies", "factorizations", "modes")
+    }
 
 
 def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
@@ -125,32 +167,58 @@ def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
     # Seed-equivalent: no caches, SciPy-default COLAMD factorization.
     previous = set_default_factor_options(FactorOptions.reference())
     try:
-        t_seed, r_seed = _timed_run(
+        t_seed, r_seed, _ = _timed_run(
             OptimizerConfig(simulation_cache=False, **base), iterations
         )
     finally:
         set_default_factor_options(previous)
 
-    t_serial, r_serial = _timed_run(OptimizerConfig(**base), iterations)
-    t_thread, r_thread = _timed_run(
-        OptimizerConfig(corner_executor="thread", **base), iterations
+    runs = {}
+    for backend in BACKENDS:
+        runs[backend] = _timed_run(
+            OptimizerConfig(solver=backend, **base), iterations
+        )
+    t_direct, r_direct, _ = runs["direct"]
+
+    # Same physics across the board: seed vs. cached to factorization
+    # roundoff, batched == direct bit for bit (single-direction device),
+    # krylov to solver precision.
+    assert np.allclose(r_seed.fom_trace(), r_direct.fom_trace(), atol=1e-6)
+    assert np.array_equal(runs["batched"][1].fom_trace(), r_direct.fom_trace())
+    assert np.allclose(
+        runs["krylov"][1].fom_trace(), r_direct.fom_trace(), rtol=1e-5, atol=1e-7
     )
 
-    # Same physics up to factorization roundoff; thread == serial exactly.
-    assert np.allclose(r_seed.fom_trace(), r_serial.fom_trace(), atol=1e-6)
-    assert np.array_equal(r_serial.fom_trace(), r_thread.fom_trace())
+    backends = {}
+    for backend, (t, result, stats) in runs.items():
+        entry = {
+            "s_per_iter": t / iterations,
+            "speedup_vs_seed": t_seed / t,
+            "speedup_vs_direct": t_direct / t,
+            "caches": _cache_summary(stats),
+        }
+        solver_stats = stats["solver"]
+        entry["factorizations"] = solver_stats["factorizations"]
+        if backend == "krylov":
+            entry["krylov_solves"] = solver_stats["krylov_solves"]
+            entry["mean_krylov_iterations"] = round(
+                solver_stats["iterations"] / max(1, solver_stats["krylov_solves"]),
+                2,
+            )
+            entry["fallbacks"] = solver_stats["fallbacks"]
+        if backend == "batched":
+            entry["batched_calls"] = solver_stats["batched_calls"]
+        backends[backend] = entry
 
     report = {
         "device": "bending",
         "iterations": iterations,
-        "corners_per_iteration": r_serial.history[0].n_corners,
+        "corners_per_iteration": r_direct.history[0].n_corners,
         "seed_equivalent_s_per_iter": t_seed / iterations,
-        "cached_serial_s_per_iter": t_serial / iterations,
-        "cached_thread_s_per_iter": t_thread / iterations,
-        "speedup_serial": t_seed / t_serial,
-        "speedup_thread": t_seed / t_thread,
+        "backends": backends,
+        "krylov_speedup_vs_direct": t_direct / runs["krylov"][0],
     }
-    return report, r_serial.pattern
+    return report, r_direct.pattern
 
 
 def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
@@ -188,12 +256,79 @@ def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
     }
 
 
+def compare_with_baseline(iteration: dict, baseline_path: Path) -> list[str]:
+    """Regression gates against the PR 1 numbers.  Returns failures.
+
+    Every gate carries noise head-room: wall-clock jitter on a shared
+    1-core box is easily 10%, and a regression gate that cries wolf on a
+    healthy run is worse than none.  The *recorded* numbers in the JSON
+    are the evidence of the actual margins; the gates only catch real
+    regressions.
+    """
+    failures: list[str] = []
+    direct = iteration["backends"]["direct"]["s_per_iter"]
+    krylov = iteration["backends"]["krylov"]["s_per_iter"]
+    # Same-run comparison is jitter-resistant (both runs see the same
+    # ambient load); 5% head-room covers scheduling noise.
+    if krylov >= 1.05 * direct:
+        failures.append(
+            f"krylov ({krylov:.4f} s/iter) regressed against the same-run "
+            f"warm direct path ({direct:.4f} s/iter, 5% head-room)"
+        )
+    if not baseline_path.exists():
+        print(f"note: no baseline at {baseline_path}; skipping PR1 comparison")
+        return failures
+    baseline = json.loads(baseline_path.read_text())
+    pr1_warm = baseline["iteration"]["cached_serial_s_per_iter"]
+    # Cross-run absolute comparisons get 25% / 10% head-room.
+    if direct > 1.25 * pr1_warm:
+        failures.append(
+            f"warm direct path regressed: {direct:.4f} s/iter vs. "
+            f"PR1's {pr1_warm:.4f} s/iter (25% head-room)"
+        )
+    if krylov >= 1.10 * pr1_warm:
+        failures.append(
+            f"krylov ({krylov:.4f} s/iter) does not beat PR1's warm direct "
+            f"path ({pr1_warm:.4f} s/iter, 10% head-room)"
+        )
+    return failures
+
+
+def _print_iteration_report(iteration: dict) -> None:
+    print(f"  seed_equivalent_s_per_iter: {iteration['seed_equivalent_s_per_iter']:.4f}")
+    for backend, entry in iteration["backends"].items():
+        print(
+            f"  {backend:8s}: {entry['s_per_iter']:.4f} s/iter  "
+            f"(x{entry['speedup_vs_seed']:.2f} vs seed, "
+            f"x{entry['speedup_vs_direct']:.2f} vs direct, "
+            f"{entry['factorizations']} factorizations)"
+        )
+        caches = entry["caches"]
+        rates = ", ".join(
+            f"{name} {caches[name]['hit_rate_pct']:.1f}% "
+            f"({caches[name]['hits']}/{caches[name]['hits'] + caches[name]['misses']})"
+            for name in ("assemblies", "factorizations", "modes")
+        )
+        print(f"            cache hit rates: {rates}")
+        if backend == "krylov":
+            print(
+                f"            krylov: {entry['krylov_solves']} solves, "
+                f"{entry['mean_krylov_iterations']} sweeps/solve, "
+                f"{entry['fallbacks']} fallbacks"
+            )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--iterations", type=int, default=8)
     parser.add_argument("--mc-samples", type=int, default=8)
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR1.json")
+        "--output", default=str(REPO_ROOT / "BENCH_PR2.json")
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_PR1.json"),
+        help="PR1 benchmark JSON to regression-check against",
     )
     parser.add_argument(
         "--skip-pytest-bench",
@@ -207,18 +342,19 @@ def main(argv: list[str] | None = None) -> int:
     for key, value in solver.items():
         print(f"  {key}: {value if isinstance(value, list) else round(value, 3)}")
 
-    print("== optimizer iteration (bending, fab corners on) ==")
+    print("== optimizer iteration per backend (bending, fab corners on) ==")
     iteration, pattern = bench_iteration(args.iterations)
-    for key, value in iteration.items():
-        print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
+    _print_iteration_report(iteration)
 
     print("== Monte-Carlo evaluation ==")
     montecarlo = bench_montecarlo(pattern, args.mc_samples)
     for key, value in montecarlo.items():
         print(f"  {key}: {round(value, 4)}")
 
+    failures = compare_with_baseline(iteration, Path(args.baseline))
+
     payload = {
-        "benchmark": "PR1 simulation workspace",
+        "benchmark": "PR2 linear-solver subsystem",
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -227,10 +363,17 @@ def main(argv: list[str] | None = None) -> int:
         "solver": solver,
         "iteration": iteration,
         "montecarlo": montecarlo,
+        "regressions": failures,
     }
     out_path = Path(args.output)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {out_path}")
+
+    if failures:
+        print("\n*** REGRESSION ***", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
 
     if not args.skip_pytest_bench:
         cmd = [

@@ -58,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="corner fan-out backend: serial | thread[:n]",
     )
+    p_design.add_argument(
+        "--solver",
+        default="direct",
+        metavar="BACKEND",
+        help=(
+            "linear-solver backend: direct (one LU per corner), batched "
+            "(direct + multi-RHS triangular sweeps), or krylov "
+            "(BiCGStab preconditioned by the nominal corner's LU, "
+            "recycled across the iteration's fabrication corners; a "
+            "non-converging solve falls back to a direct factorization "
+            "automatically). krylov:gmres selects GMRES."
+        ),
+    )
 
     p_eval = sub.add_parser("evaluate", help="post-fab Monte-Carlo eval")
     p_eval.add_argument("result", help="JSON produced by `design`/`baseline`")
@@ -67,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         default="serial",
         help="sample fan-out backend: serial | thread[:n] | process[:n]",
+    )
+    p_eval.add_argument(
+        "--solver",
+        default="direct",
+        metavar="BACKEND",
+        help=(
+            "linear-solver backend for the evaluation solves: direct | "
+            "batched | krylov[:gmres] (see `design --help`; krylov falls "
+            "back to direct factorization on non-convergence)"
+        ),
     )
 
     p_base = sub.add_parser("baseline", help="run a named prior-art method")
@@ -93,6 +116,7 @@ def _cmd_design(args) -> int:
         relax_epochs=relax,
         seed=args.seed,
         corner_executor=args.executor,
+        solver=args.solver,
     )
     optimizer = Boson1Optimizer(device, config)
 
@@ -123,6 +147,12 @@ def _cmd_design(args) -> int:
 def _cmd_evaluate(args) -> int:
     payload = load_result(args.result)
     device = make_device(payload["device"])
+    if args.solver != "direct":
+        from repro.fdfd.workspace import SimulationWorkspace
+
+        device.configure_simulation_cache(
+            True, SimulationWorkspace(solver_config=args.solver)
+        )
     process = FabricationProcess(
         device.design_shape,
         device.dl,

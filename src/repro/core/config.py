@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["OptimizerConfig"]
+from repro.fdfd.linalg import SolverConfig
+
+__all__ = ["OptimizerConfig", "SolverConfig"]
 
 
 @dataclass
@@ -73,6 +75,19 @@ class OptimizerConfig:
         :class:`~repro.fdfd.workspace.SimulationWorkspace` (cached
         operators, modes, factorizations).  Off reproduces the cold
         seed path bit-for-bit; only wall time differs.
+    solver:
+        Linear-solver backend: a
+        :class:`~repro.fdfd.linalg.SolverConfig` or a backend name —
+        ``"direct"`` (one LU per permittivity, the reference),
+        ``"batched"`` (direct + matrix-RHS sweeps and multi-direction
+        batching) or ``"krylov"`` (nominal-LU-preconditioned
+        BiCGStab/GMRES across corners, with automatic direct fallback;
+        ``"krylov:gmres"`` selects GMRES).  ``None`` (the default)
+        inherits whatever backend the device's workspace is already
+        configured with — so a device set up via
+        ``configure_simulation_cache(True, SimulationWorkspace(
+        solver_config="krylov"))`` keeps its backend under a default
+        config.  Non-direct backends require ``simulation_cache=True``.
     """
 
     parameterization: str = "levelset"
@@ -97,8 +112,16 @@ class OptimizerConfig:
     corner_executor: str = "serial"
     executor_workers: int | None = None
     simulation_cache: bool = True
+    solver: SolverConfig | str | None = None
 
     def __post_init__(self):
+        if self.solver is not None:
+            self.solver = SolverConfig.coerce(self.solver)
+            if self.solver.backend != "direct" and not self.simulation_cache:
+                raise ValueError(
+                    f"solver backend {self.solver.backend!r} needs the "
+                    "simulation workspace; set simulation_cache=True"
+                )
         if self.parameterization not in ("levelset", "density"):
             raise ValueError(
                 "parameterization must be 'levelset' or 'density', "

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.autodiff import Tensor
 from repro.core.config import OptimizerConfig
-from repro.core.executors import make_executor
+from repro.core.executors import make_executor, map_ordered_with_serial_head
 from repro.core.objective import build_loss, radiation_power
 from repro.core.optimizer import Adam
 from repro.core.relaxation import RelaxationSchedule
@@ -117,6 +117,22 @@ class Boson1Optimizer:
         self.rng = rng_from_seed(self.config.seed)
         if device.simulation_cache != self.config.simulation_cache:
             device.configure_simulation_cache(self.config.simulation_cache)
+        if (
+            self.config.solver is not None
+            and self.config.simulation_cache
+            and device.workspace is not None
+            and device.workspace.solver_config != self.config.solver
+        ):
+            # An explicitly requested backend gets its own workspace
+            # rather than mutating the process-shared one under other
+            # devices; the replacement inherits the old workspace's
+            # factorization options and cache bounds so only the backend
+            # changes.  config.solver=None leaves a pre-configured
+            # workspace (and its backend) untouched.
+            device.configure_simulation_cache(
+                True,
+                device.workspace.with_solver_config(self.config.solver),
+            )
         self.executor = make_executor(
             self.config.corner_executor, self.config.executor_workers
         )
@@ -207,10 +223,7 @@ class Boson1Optimizer:
     # Loss evaluation                                                    #
     # ------------------------------------------------------------------ #
     def _powers_for(self, rho_scaled: Tensor, alpha_bg: float):
-        return {
-            d: self.device.port_powers(rho_scaled, d, alpha_bg)
-            for d in self.device.directions
-        }
+        return self.device.port_powers_all(rho_scaled, alpha_bg)
 
     def _corner_loss(self, rho: Tensor, corner: VariationCorner):
         rho_fab = self.process.apply(rho, corner)
@@ -231,10 +244,21 @@ class Boson1Optimizer:
 
         Corner losses are independent given ``rho``; they fan out over
         :attr:`executor` and are reduced serially in the sampler's
-        corner order, so the result is bit-identical for every backend
-        and worker count.  The returned corner count is the number the
-        loss actually averaged over (0 when ``use_fab`` is off).
+        corner order, so for LU-backed solver backends the result is
+        bit-identical for every executor backend and worker count.  The
+        first corner (the nominal one, for every built-in sampling
+        strategy) is evaluated before the fan-out so the ``krylov``
+        backend's preconditioner anchor is established deterministically
+        too; its results match the direct backend to solver tolerance.
+        The returned corner count is the number the loss actually
+        averaged over (0 when ``use_fab`` is off).
         """
+        if self.device.workspace is not None:
+            # New iteration, new pattern: refresh the Krylov
+            # preconditioner anchors so the nominal corner — the first
+            # permittivity factorized below — is what every other corner
+            # of this iteration recycles.  No-op for direct backends.
+            self.device.workspace.begin_solver_epoch()
         rho = self.decode(theta_t)
         nominal_powers: dict[str, dict[str, float]] | None = None
 
@@ -251,8 +275,19 @@ class Boson1Optimizer:
             worst_finder = self._make_worst_finder(rho)
         corners = self.sampler.corners(iteration, self.rng, worst_finder)
 
-        corner_results = self.executor.map_ordered(
-            lambda corner: self._corner_loss(rho, corner), corners
+        # With a preconditioned backend, the first corner (the nominal
+        # one, for every built-in sampling strategy) is evaluated before
+        # the fan-out so the epoch's preconditioner anchor is
+        # established deterministically — a pooled executor would
+        # otherwise anchor whichever corner thread ran first.  LU-backed
+        # backends keep the full fan-out (no anchor, and a serial head
+        # would cost threaded runs one corner of overlap).
+        workspace = self.device.workspace
+        corner_results = map_ordered_with_serial_head(
+            self.executor,
+            lambda corner: self._corner_loss(rho, corner),
+            corners,
+            workspace is not None and workspace.solver_uses_preconditioner,
         )
         fab_loss = None
         total_weight = 0.0

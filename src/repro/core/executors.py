@@ -36,6 +36,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "map_ordered_with_serial_head",
     "EXECUTOR_BACKENDS",
 ]
 
@@ -137,6 +138,27 @@ class ProcessExecutor(_PoolExecutor):
         # instead of starting cold on every item.
         workers = self.max_workers or (os.cpu_count() or 1)
         return max(1, -(-n_items // workers))
+
+
+def map_ordered_with_serial_head(
+    pool: CornerExecutor,
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    serial_head: bool,
+) -> list[R]:
+    """Ordered map, optionally evaluating the first item inline first.
+
+    Callers whose solver backend recycles preconditioner anchors (the
+    ``krylov`` workspace backend) run the first item in the calling
+    thread so the anchor is established deterministically before the
+    fan-out.  The head is skipped for executors without shared memory
+    (process pools): their workers hold their own re-warmed workspaces,
+    so a parent-side anchor would be dead work.
+    """
+    items = list(items)
+    if not serial_head or not items or not pool.supports_shared_memory:
+        return list(pool.map_ordered(fn, items))
+    return [fn(items[0])] + list(pool.map_ordered(fn, items[1:]))
 
 
 EXECUTOR_BACKENDS: dict[str, type[CornerExecutor]] = {

@@ -25,6 +25,8 @@ from repro.autodiff import Tensor
 from repro.autodiff.ops import as_tensor, custom_vjp_with_residuals
 from repro.fdfd.adjoint import PortInfrastructure, PortPowerProblem, PortSpec
 from repro.fdfd.grid import SimGrid
+from repro.fdfd.linalg import SOLVER_REGISTRY
+from repro.fdfd.solver import HelmholtzSolver
 from repro.fdfd.workspace import SimulationWorkspace, shared_workspace
 from repro.params.initializers import PathSegment
 from repro.utils.constants import EPS_SI, EPS_VOID, omega_from_wavelength
@@ -66,6 +68,9 @@ class PhotonicDevice:
     directions: tuple[str, ...] = ("fwd",)
     #: True when the FoM is a cost (the isolator's contrast ratio).
     fom_lower_is_better: bool = False
+    #: Memoized per-wavelength clones kept per device (LRU; each holds
+    #: full-grid calibration fields, so the bound matters).
+    _MAX_WAVELENGTH_CLONES: int = 32
 
     def __init__(
         self,
@@ -88,6 +93,7 @@ class PhotonicDevice:
         )
         self._background = None
         self._calibration_cache: dict[tuple[str, float], tuple] = {}
+        self._wavelength_clones: dict[float, "PhotonicDevice"] = {}
         self.configure_simulation_cache(simulation_cache, workspace)
 
     def configure_simulation_cache(
@@ -120,6 +126,47 @@ class PhotonicDevice:
         else:
             self.workspace = None
         self._calibration_cache.clear()
+        self._wavelength_clones.clear()
+
+    # Wavelength clones hold their own caches and are cheap to re-warm;
+    # dropping them keeps pickled devices (process-pool workers) lean.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_wavelength_clones"] = {}
+        return state
+
+    def at_wavelength(self, wavelength_um: float) -> "PhotonicDevice":
+        """A memoized clone of this device at another wavelength.
+
+        The clone shares the geometry, background occupancy and the
+        simulation workspace (so slab-mode and assembly caches persist
+        across wavelengths and repeated sweeps) but keeps its own
+        ``omega`` and calibration cache — a second sweep over the same
+        wavelengths reuses every calibration run instead of re-solving
+        cold.
+        """
+        key = round(float(wavelength_um), 12)
+        if key == round(self.wavelength_um, 12):
+            return self
+        clone = self._wavelength_clones.get(key)
+        if clone is None:
+            cls = type(self)
+            clone = cls.__new__(cls)
+            clone.__dict__.update(self.__dict__)
+            clone.wavelength_um = float(wavelength_um)
+            clone.omega = omega_from_wavelength(wavelength_um)
+            clone._calibration_cache = {}
+            clone._wavelength_clones = {}
+            self._wavelength_clones[key] = clone
+            # Bounded LRU: each clone pins full-grid calibration fields,
+            # so a long-lived device sweeping many wavelengths must not
+            # accumulate them without limit.
+            while len(self._wavelength_clones) > self._MAX_WAVELENGTH_CLONES:
+                self._wavelength_clones.pop(next(iter(self._wavelength_clones)))
+        else:
+            # Refresh recency (plain dicts preserve insertion order).
+            self._wavelength_clones[key] = self._wavelength_clones.pop(key)
+        return clone
 
     # ------------------------------------------------------------------ #
     # Geometry interface (subclasses)                                    #
@@ -360,6 +407,130 @@ class PhotonicDevice:
             name: vector[i] for i, name in enumerate(self.port_names(direction))
         }
 
+    def port_powers_all(
+        self, rho_scaled, alpha_bg: float = 1.0
+    ) -> dict[str, dict[str, Tensor]]:
+        """Normalized port powers for *every* direction (differentiable).
+
+        With a batching solver backend (``--solver batched``) and a
+        multi-direction device, all forward sources sharing this
+        permittivity are stacked into one matrix-RHS solve and, on the
+        backward pass, all adjoint systems into one transposed sweep —
+        the isolator's fwd+bwd pair costs two triangular sweeps instead
+        of four solver round-trips.  Otherwise this is the per-direction
+        loop, term for term identical to calling :meth:`port_powers`.
+        """
+        op = self._power_op_all(alpha_bg) if self._batches_directions() else None
+        if op is None:
+            return {
+                d: self.port_powers(rho_scaled, d, alpha_bg)
+                for d in self.directions
+            }
+        rho_scaled = as_tensor(rho_scaled)
+        if tuple(rho_scaled.shape) != self.design_shape:
+            raise ValueError(
+                f"design shape {rho_scaled.shape} != {self.design_shape}"
+            )
+        return self._split_by_direction(op(rho_scaled), lambda entry: entry)
+
+    def _split_by_direction(self, vector, wrap) -> dict[str, dict]:
+        """Unflatten a concatenated power vector back to per-direction dicts.
+
+        The inverse of the ordering :meth:`_power_op_all` emits; shared
+        by the taped (``wrap`` = identity on Tensor entries) and no-tape
+        (``wrap`` = float) callers so the layouts cannot drift apart.
+        """
+        result: dict[str, dict] = {}
+        offset = 0
+        for direction in self.directions:
+            names = self.port_names(direction)
+            result[direction] = {
+                name: wrap(vector[offset + i]) for i, name in enumerate(names)
+            }
+            offset += len(names)
+        return result
+
+    def _batches_directions(self) -> bool:
+        """Whether the workspace backend amortizes stacked RHS columns."""
+        if len(self.directions) < 2 or self.workspace is None:
+            return False
+        backend = SOLVER_REGISTRY[self.workspace.solver_config.backend]
+        return bool(getattr(backend, "batches_rhs", False))
+
+    def _power_op_all(self, alpha_bg: float):
+        """Multi-direction power op; ``None`` when batching can't apply."""
+        infos = []
+        for direction in self.directions:
+            problem, p_in, incident, infra = self._calibration_with_infra(
+                direction, alpha_bg
+            )
+            if infra is None:
+                # A port touches the design window: modes depend on the
+                # pattern, so sources can't be precomputed or stacked.
+                return None
+            infos.append(
+                (direction, problem, p_in, incident, infra, self.port_names(direction))
+            )
+        bg_scaled = self.cached_background() * alpha_bg
+        dslice = self.design_slice
+        contrast = self.eps_solid - EPS_VOID
+        pml = infos[0][1].pml
+
+        def forward(occ_design):
+            occ = bg_scaled.copy()
+            occ[dslice] = occ_design
+            eps = self.eps_from_occupancy(occ)
+            solver = HelmholtzSolver(
+                self.grid, eps, self.omega, pml, workspace=self.workspace
+            )
+            rhs = np.stack(
+                [
+                    (-1j * self.omega)
+                    * info[4].source_jz.ravel().astype(np.complex128)
+                    for info in infos
+                ],
+                axis=1,
+            )
+            ez_block = solver.solve_many(rhs)
+            powers = []
+            solutions = []
+            for j, (direction, problem, p_in, incident, infra, names) in enumerate(
+                infos
+            ):
+                fields = solver.fields_from_ez(np.ascontiguousarray(ez_block[:, j]))
+                sol = problem.measure(solver, fields, incident, infra)
+                solutions.append(sol)
+                powers.extend(sol.raw_powers[n] / p_in for n in names)
+            return np.array(powers, dtype=np.float64), (solver, solutions)
+
+        def vjp(g, out, residuals, occ_design):
+            solver, solutions = residuals
+            adjoint_rhs = []
+            offset = 0
+            for (direction, problem, p_in, incident, infra, names), sol in zip(
+                infos, solutions
+            ):
+                cotangents = {
+                    n: float(g[offset + i]) for i, n in enumerate(names)
+                }
+                offset += len(names)
+                adjoint_rhs.append(
+                    problem.adjoint_source(sol, cotangents, input_power=p_in)
+                )
+            lam_block = solver.solve_many(np.stack(adjoint_rhs, axis=1), trans="T")
+            grad = np.zeros(self.grid.shape, dtype=np.float64)
+            for j, ((direction, problem, *_rest), sol) in enumerate(
+                zip(infos, solutions)
+            ):
+                grad += problem.grad_from_adjoint(
+                    sol, np.ascontiguousarray(lam_block[:, j])
+                )
+            return (grad[dslice] * contrast,)
+
+        return custom_vjp_with_residuals(
+            forward, vjp, name=f"{self.name}:all:powers"
+        )
+
     def port_powers_array(
         self, rho_scaled: np.ndarray, direction: str, alpha_bg: float = 1.0
     ) -> dict[str, float]:
@@ -373,3 +544,22 @@ class PhotonicDevice:
             self.eps_from_occupancy(occ), incident_ez=incident, infra=infra
         )
         return {n: sol.raw_powers[n] / p_in for n in self.port_names(direction)}
+
+    def port_powers_array_all(
+        self, rho_scaled: np.ndarray, alpha_bg: float = 1.0
+    ) -> dict[str, dict[str, float]]:
+        """Plain numpy port powers for *every* direction (no tape).
+
+        The evaluation-path counterpart of :meth:`port_powers_all`: with
+        a batching backend and a multi-direction device the forward
+        sources stack into one matrix-RHS solve; otherwise it loops
+        :meth:`port_powers_array` with identical results.
+        """
+        op = self._power_op_all(alpha_bg) if self._batches_directions() else None
+        if op is None:
+            return {
+                d: self.port_powers_array(rho_scaled, d, alpha_bg)
+                for d in self.directions
+            }
+        vector = op(np.asarray(rho_scaled, dtype=np.float64)).data
+        return self._split_by_direction(vector, float)

@@ -7,7 +7,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.executors import CornerExecutor, make_executor
+from repro.core.executors import (
+    CornerExecutor,
+    make_executor,
+    map_ordered_with_serial_head,
+)
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
 from repro.fab.litho import LITHO_CORNER_NAMES
@@ -96,10 +100,7 @@ def _evaluate_sample(
     """
     fabbed = process.apply_array(pattern, corner)
     alpha_bg = alpha_of_temperature(corner.temperature_k)
-    powers = {
-        d: device.port_powers_array(fabbed, d, alpha_bg)
-        for d in device.directions
-    }
+    powers = device.port_powers_array_all(fabbed, alpha_bg)
     return device.fom(powers), powers
 
 
@@ -129,8 +130,14 @@ def evaluate_post_fab(
         Sample fan-out backend (``None``/``"serial"``, ``"thread"``,
         ``"process"``, or a :class:`~repro.core.executors.CornerExecutor`).
         All corners are drawn *before* the fan-out and results reduce in
-        sample order, so the report is bit-identical for every backend
-        and worker count.
+        sample order, so with LU-backed solver backends the report is
+        bit-identical for every backend and worker count.  The ``krylov``
+        backend evaluates the first sample before the fan-out on
+        shared-memory executors so the preconditioner anchor is
+        deterministic (process workers re-warm their own workspaces and
+        anchor per worker chunk); its pooled-executor results can still
+        differ from serial at the solver tolerance, since fallback
+        anchors arrive in scheduling order.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
@@ -145,8 +152,14 @@ def evaluate_post_fab(
     # functools.partial of a module-level function pickles, so the same
     # task object serves the thread and process backends.
     task = functools.partial(_evaluate_sample, device, process, pattern)
+    workspace = device.workspace
     try:
-        results = pool.map_ordered(task, corners)
+        results = map_ordered_with_serial_head(
+            pool,
+            task,
+            corners,
+            workspace is not None and workspace.solver_uses_preconditioner,
+        )
     finally:
         if not isinstance(executor, CornerExecutor):
             pool.shutdown()
@@ -182,8 +195,5 @@ def evaluate_ideal(
     arrows start from.
     """
     pattern = np.asarray(pattern, dtype=np.float64)
-    powers = {
-        d: device.port_powers_array(pattern, d, 1.0)
-        for d in device.directions
-    }
+    powers = device.port_powers_array_all(pattern, 1.0)
     return device.fom(powers), powers

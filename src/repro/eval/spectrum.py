@@ -8,6 +8,14 @@ formulation (``F(eps | lambda_c)``) naturally invites.
 Re-simulation at a different wavelength rebuilds the device's port
 problems at the new ``omega`` (mode profiles are wavelength-dependent), so
 sweeps are evaluation-only: nothing here participates in gradients.
+
+Per-wavelength device clones come from
+:meth:`~repro.devices.base.PhotonicDevice.at_wavelength`, which memoizes
+them on the parent device and routes their solves through the shared
+:class:`~repro.fdfd.workspace.SimulationWorkspace`: a repeated sweep (a
+second pattern, a finer wavelength grid revisiting old points) hits the
+cached calibration runs, slab modes and operator assemblies instead of
+re-solving cold at every wavelength.
 """
 
 from __future__ import annotations
@@ -55,27 +63,6 @@ class SpectrumResult:
         )
 
 
-def _clone_device_at_wavelength(
-    device: PhotonicDevice, wavelength_um: float
-) -> PhotonicDevice:
-    """A shallow re-instantiation of the device at a new wavelength.
-
-    Devices are constructed from their geometry parameters; changing the
-    wavelength only changes ``omega`` and invalidates calibration caches,
-    so a fresh instance of the same class with the same geometry is the
-    cleanest route.
-    """
-    cls = type(device)
-    clone = cls.__new__(cls)
-    clone.__dict__.update(device.__dict__)
-    clone.wavelength_um = float(wavelength_um)
-    from repro.utils.constants import omega_from_wavelength
-
-    clone.omega = omega_from_wavelength(wavelength_um)
-    clone._calibration_cache = {}
-    return clone
-
-
 def wavelength_sweep(
     device: PhotonicDevice,
     pattern: np.ndarray,
@@ -105,11 +92,8 @@ def wavelength_sweep(
     foms = np.zeros(wavelengths.size)
     all_powers: list[dict[str, dict[str, float]]] = []
     for i, lam in enumerate(wavelengths):
-        clone = _clone_device_at_wavelength(device, lam)
-        powers = {
-            d: clone.port_powers_array(pattern, d, alpha_bg)
-            for d in clone.directions
-        }
+        clone = device.at_wavelength(lam)
+        powers = clone.port_powers_array_all(pattern, alpha_bg)
         foms[i] = clone.fom(powers)
         all_powers.append(powers)
     return SpectrumResult(

@@ -23,6 +23,15 @@ from repro.fdfd.modes import SlabModeSolver, WaveguideMode
 from repro.fdfd.sources import ModeLineSource
 from repro.fdfd.monitors import ModeOverlapMonitor, poynting_flux_x, poynting_flux_y
 from repro.fdfd.adjoint import PortInfrastructure, PortPowerProblem, PortSpec
+from repro.fdfd.linalg import (
+    BatchedDirectSolver,
+    DirectSolver,
+    LinearSolver,
+    PreconditionedKrylovSolver,
+    SolverConfig,
+    available_backends,
+    register_solver,
+)
 from repro.fdfd.workspace import (
     FactorOptions,
     FdfdAssembly,
@@ -53,4 +62,11 @@ __all__ = [
     "SimulationWorkspace",
     "shared_workspace",
     "reset_shared_workspace",
+    "LinearSolver",
+    "SolverConfig",
+    "DirectSolver",
+    "BatchedDirectSolver",
+    "PreconditionedKrylovSolver",
+    "available_backends",
+    "register_solver",
 ]

@@ -264,7 +264,21 @@ class PortPowerProblem:
         if infra is None:
             infra = self.prepare(eps_r)
         fields = solver.solve(infra.source_jz)
+        return self.measure(solver, fields, incident_ez, infra)
 
+    def measure(
+        self,
+        solver: HelmholtzSolver,
+        fields: FdfdFields,
+        incident_ez: np.ndarray | None,
+        infra: PortInfrastructure,
+    ) -> PortPowerSolution:
+        """Project already-solved fields onto this problem's monitors.
+
+        Split out of :meth:`solve` so batched multi-RHS solves (one
+        triangular sweep for several sources) can produce per-problem
+        solutions from shared fields.
+        """
         amplitudes: dict[str, complex] = {}
         raw_powers: dict[str, float] = {}
         for port in self.ports:
@@ -315,6 +329,22 @@ class PortPowerProblem:
             permittivity does not feed the port mode solves (i.e. in the
             design region, which is disjoint from the port planes).
         """
+        v = self.adjoint_source(solution, power_cotangents, input_power)
+        lam = solution.solver.solve_transposed(v)
+        return self.grad_from_adjoint(solution, lam)
+
+    def adjoint_source(
+        self,
+        solution: PortPowerSolution,
+        power_cotangents: Mapping[str, float],
+        input_power: float = 1.0,
+    ) -> np.ndarray:
+        """The adjoint right-hand side ``v = sum_j (dF/dc_j) w_j``.
+
+        Exposed separately so several adjoint systems sharing one
+        factorization (e.g. the two directions of the isolator) can be
+        stacked into a single matrix-RHS transposed sweep.
+        """
         v = np.zeros(self.grid.n_cells, dtype=np.complex128)
         for port in self.ports:
             gbar = float(power_cotangents.get(port.name, 0.0))
@@ -330,7 +360,12 @@ class PortPowerProblem:
                 / input_power
                 * monitor.weight_vector()
             )
-        lam = solution.solver.solve_transposed(v)
+        return v
+
+    def grad_from_adjoint(
+        self, solution: PortPowerSolution, lam: np.ndarray
+    ) -> np.ndarray:
+        """Permittivity gradient from a solved adjoint field ``lam``."""
         ez_flat = solution.fields.ez.ravel()
         grad = -2.0 * self.omega**2 * np.real(lam * ez_flat)
         return grad.reshape(self.grid.shape)

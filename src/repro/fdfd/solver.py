@@ -26,6 +26,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.fdfd.grid import SimGrid
+from repro.fdfd.linalg import DirectSolver, SolveStats
 from repro.fdfd.operators import build_derivative_ops, laplacian_from_ops
 from repro.fdfd.pml import PMLSpec
 from repro.fdfd.workspace import (
@@ -113,9 +114,8 @@ class HelmholtzSolver:
             assembly = workspace.assembly(grid, self.omega, pml)
             self._dxf = assembly.ops["dxf"]
             self._dyf = assembly.ops["dyf"]
-            self._lu, self.system_matrix = workspace.factorize(
-                assembly, eps_r
-            )
+            self.linsolver = workspace.linear_solver(assembly, eps_r)
+            self.system_matrix = self.linsolver.matrix
         else:
             ops = build_derivative_ops(grid, self.omega, pml)
             laplacian = laplacian_from_ops(ops)
@@ -126,7 +126,14 @@ class HelmholtzSolver:
                 + sp.diags(self.omega**2 * eps_r.ravel(), format="csr")
             ).tocsc()
             options = factor_options or default_factor_options()
-            self._lu = options.splu(self.system_matrix)
+            self.linsolver = DirectSolver(
+                self.system_matrix, options.splu(self.system_matrix), SolveStats()
+            )
+
+    @property
+    def _lu(self):
+        """Underlying SuperLU factors (LU-backed backends only)."""
+        return self.linsolver.lu
 
     # ------------------------------------------------------------------ #
     def solve(self, source_jz: np.ndarray) -> FdfdFields:
@@ -149,7 +156,15 @@ class HelmholtzSolver:
                 f"source shape {source_jz.shape} != grid {self.grid.shape}"
             )
         b = (-1j * self.omega) * source_jz.ravel().astype(np.complex128)
-        ez_flat = self._lu.solve(b)
+        ez_flat = self.linsolver.solve(b)
+        return self.fields_from_ez(ez_flat)
+
+    def fields_from_ez(self, ez_flat: np.ndarray) -> FdfdFields:
+        """Derive the field bundle from a flattened ``Ez`` solution.
+
+        Split out of :meth:`solve` so that multi-RHS (batched) solves can
+        reconstruct per-column field bundles.
+        """
         ez = ez_flat.reshape(self.grid.shape)
         # The SC-PML stretch ``s = 1 - i sigma / omega`` absorbs outgoing
         # waves under the e^{+i omega t} engineering time convention, whose
@@ -161,12 +176,26 @@ class HelmholtzSolver:
 
     def solve_raw(self, rhs_flat: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` for an arbitrary flattened right-hand side."""
-        return self._lu.solve(np.asarray(rhs_flat, dtype=np.complex128))
+        return self.linsolver.solve(np.asarray(rhs_flat, dtype=np.complex128))
+
+    def solve_many(self, rhs_block: np.ndarray, trans: str = "N") -> np.ndarray:
+        """Solve for an ``(n, k)`` block of right-hand sides at once.
+
+        With the ``batched`` backend this is a single matrix-RHS
+        triangular sweep; other backends process columns individually.
+        """
+        return self.linsolver.solve_many(
+            np.asarray(rhs_block, dtype=np.complex128), trans=trans
+        )
 
     def solve_transposed(self, rhs_flat: np.ndarray) -> np.ndarray:
         """Solve ``A^T x = rhs`` — the adjoint system.
 
-        Uses the already-computed LU factors (``L U = P A Q`` implies
-        ``A^T = Q U^T L^T P``), so no second factorization is needed.
+        LU-backed backends reuse the forward factors (``L U = P A Q``
+        implies ``A^T = Q U^T L^T P``); the Krylov backend iterates on
+        ``A^T`` preconditioned by the transposed anchor LU.  Either way,
+        no second factorization is needed.
         """
-        return self._lu.solve(np.asarray(rhs_flat, dtype=np.complex128), trans="T")
+        return self.linsolver.solve(
+            np.asarray(rhs_flat, dtype=np.complex128), trans="T"
+        )

@@ -28,9 +28,19 @@ module caches the invariants:
     time at machine-precision residuals; ``FactorOptions.reference()``
     restores SciPy's COLAMD default.
 
+Solves themselves go through the pluggable backends of
+:mod:`repro.fdfd.linalg` (:meth:`SimulationWorkspace.linear_solver`):
+``direct``/``batched`` cache one SuperLU per permittivity as before,
+while ``krylov`` keeps a small pool of *preconditioner anchors* per
+operator set — LUs of recently factorized permittivities, nearest of
+which preconditions a BiCGStab/GMRES solve for every other corner.
+:meth:`SimulationWorkspace.begin_solver_epoch` (called by the optimizer
+once per iteration) drops the anchors so the first permittivity of each
+iteration — the nominal corner — becomes the anchor its siblings recycle.
+
 Every cache is content-addressed, so a warm workspace returns the same
-bits as a cold build — tests assert bit-for-bit identity of matrices,
-fields and gradients.
+bits as a cold build for the direct backends — tests assert bit-for-bit
+identity of matrices, fields and gradients.
 """
 
 from __future__ import annotations
@@ -45,6 +55,14 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.fdfd.grid import SimGrid
+from repro.fdfd.linalg import (
+    SOLVER_REGISTRY,
+    DirectSolver,
+    LinearSolver,
+    SolveStats,
+    SolverConfig,
+    make_linear_solver,
+)
 from repro.fdfd.modes import SlabModeSolver, WaveguideMode
 from repro.fdfd.operators import build_derivative_ops, laplacian_from_ops
 from repro.fdfd.pml import PMLSpec
@@ -229,6 +247,10 @@ class SimulationWorkspace:
     factor_options:
         SuperLU configuration used for every factorization created
         through this workspace.
+    solver_config:
+        Linear-solver backend selection (a
+        :class:`~repro.fdfd.linalg.SolverConfig`, a backend name such as
+        ``"krylov"``, or ``None`` for the direct default).
 
     Notes
     -----
@@ -243,11 +265,23 @@ class SimulationWorkspace:
         max_factorizations: int = 8,
         max_modes: int = 64,
         factor_options: FactorOptions | None = None,
+        solver_config: SolverConfig | str | None = None,
     ):
         self.factor_options = factor_options or default_factor_options()
+        self.solver_config = SolverConfig.coerce(solver_config)
+        self.solver_stats = SolveStats()
         self._assemblies = _LRUCache(max_assemblies)
         self._factorizations = _LRUCache(max_factorizations)
         self._modes = _LRUCache(max_modes)
+        # Preconditioner anchors for iterative backends: per operator
+        # set, a small ordered pool of (eps, LU) pairs; see
+        # linear_solver() for the recycling policy.  The operator-set
+        # keys themselves are LRU-bounded (by max_assemblies, like the
+        # operator cache) so evaluation-only usage — e.g. a wavelength
+        # sweep, one omega per point — cannot pin factorizations without
+        # limit.
+        self._anchors: OrderedDict = OrderedDict()
+        self._anchor_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def assembly(
@@ -262,22 +296,150 @@ class SimulationWorkspace:
             self._assemblies.put(key, cached)
         return cached
 
+    def linear_solver(
+        self, assembly: FdfdAssembly, eps_r: np.ndarray
+    ) -> LinearSolver:
+        """The configured backend's solver for one permittivity.
+
+        Solvers are cached by permittivity content, so corners sharing a
+        permittivity (the worst-corner probe and the nominal corner, the
+        two directions of a reciprocal device) share one factorization —
+        or, for the Krylov backend, one preconditioned operator.
+
+        Krylov anchor policy: the first permittivity factorized for an
+        operator set after :meth:`begin_solver_epoch` becomes the
+        *anchor* (in the optimizer loop, the nominal corner); every
+        subsequent permittivity is solved iteratively, preconditioned by
+        its nearest anchor in Euclidean permittivity distance.  A solve
+        that falls back to direct factorization contributes its LU as an
+        additional anchor, so off-manifold environments (calibration
+        runs, far Monte-Carlo samples) pay the factorization once and
+        then precondition their own neighbourhood.
+        """
+        eps = np.asarray(eps_r, dtype=np.float64)
+        eps_hash = _hash_array(eps)
+        key = (assembly.grid, round(assembly.omega, 12), assembly.pml, eps_hash)
+        cached = self._factorizations.get(key)
+        if cached is not None:
+            return cached
+
+        backend = self.solver_config.backend
+        matrix = assembly.system_matrix(eps)
+        if not getattr(SOLVER_REGISTRY[backend], "uses_preconditioner", False):
+            solver = make_linear_solver(
+                backend,
+                matrix,
+                self.factor_options,
+                config=self.solver_config,
+                stats=self.solver_stats,
+            )
+        else:
+            solver = self._preconditioned_solver(
+                assembly, matrix, eps, eps_hash, backend
+            )
+        self._factorizations.put(key, solver)
+        return solver
+
+    def _preconditioned_solver(
+        self, assembly, matrix, eps, eps_hash, backend
+    ) -> LinearSolver:
+        akey = (assembly.grid, round(assembly.omega, 12), assembly.pml)
+        eps_flat = eps.ravel().copy()
+        with self._anchor_lock:
+            anchors = self._anchors.setdefault(akey, OrderedDict())
+            self._anchors.move_to_end(akey)
+            while len(self._anchors) > self._assemblies.maxsize:
+                self._anchors.popitem(last=False)
+            if eps_hash in anchors:
+                # The solver cache evicted this permittivity but its LU
+                # survives as an anchor: exact solves, no iteration.
+                return DirectSolver(matrix, anchors[eps_hash][1], self.solver_stats)
+            if not anchors:
+                # First permittivity of the epoch — the nominal corner in
+                # the optimizer loop.  Factorize it; siblings recycle it.
+                lu = self.factor_options.splu(matrix)
+                self.solver_stats.add(factorizations=1)
+                anchors[eps_hash] = (eps_flat, lu)
+                return DirectSolver(matrix, lu, self.solver_stats)
+            nearest = min(
+                anchors.values(),
+                key=lambda pair: float(np.linalg.norm(pair[0] - eps_flat)),
+            )
+        return make_linear_solver(
+            backend,
+            matrix,
+            self.factor_options,
+            config=self.solver_config,
+            stats=self.solver_stats,
+            preconditioner=nearest[1],
+            on_fallback=lambda direct: self._add_anchor(
+                akey, eps_hash, eps_flat, direct.lu
+            ),
+        )
+
+    def _add_anchor(self, akey, eps_hash, eps_flat, lu) -> None:
+        with self._anchor_lock:
+            anchors = self._anchors.setdefault(akey, OrderedDict())
+            anchors[eps_hash] = (eps_flat, lu)
+            while len(anchors) > self.solver_config.max_anchors:
+                anchors.popitem(last=False)
+            self._anchors.move_to_end(akey)
+            while len(self._anchors) > self._assemblies.maxsize:
+                self._anchors.popitem(last=False)
+
+    @property
+    def solver_uses_preconditioner(self) -> bool:
+        """Whether the configured backend recycles anchor factorizations.
+
+        The optimizer uses this to decide if the first corner of an
+        iteration must be solved before the executor fan-out (so the
+        anchor is established deterministically).
+        """
+        backend = SOLVER_REGISTRY[self.solver_config.backend]
+        return bool(getattr(backend, "uses_preconditioner", False))
+
+    def with_solver_config(
+        self, solver_config: SolverConfig | str | None
+    ) -> "SimulationWorkspace":
+        """A fresh workspace with this one's options but another backend.
+
+        Factorization options and cache bounds carry over; caches start
+        cold (solver objects are backend-specific).
+        """
+        return SimulationWorkspace(
+            max_assemblies=self._assemblies.maxsize,
+            max_factorizations=self._factorizations.maxsize,
+            max_modes=self._modes.maxsize,
+            factor_options=self.factor_options,
+            solver_config=solver_config,
+        )
+
+    def begin_solver_epoch(self) -> None:
+        """Drop preconditioner anchors (start of an optimizer iteration).
+
+        The design pattern changes every iteration, so last iteration's
+        anchors are stale; clearing them makes the first factorization of
+        the new iteration — the nominal corner — the anchor every other
+        corner recycles.  A no-op for the direct backends.
+        """
+        with self._anchor_lock:
+            self._anchors.clear()
+
     def factorize(
         self, assembly: FdfdAssembly, eps_r: np.ndarray
     ) -> tuple[spla.SuperLU, sp.csc_matrix]:
-        """LU of the system matrix, shared across identical permittivities."""
-        key = (
-            assembly.grid,
-            round(assembly.omega, 12),
-            assembly.pml,
-            _hash_array(np.asarray(eps_r, dtype=np.float64)),
-        )
-        cached = self._factorizations.get(key)
-        if cached is None:
-            matrix = assembly.system_matrix(eps_r)
-            cached = (self.factor_options.splu(matrix), matrix)
-            self._factorizations.put(key, cached)
-        return cached
+        """LU + matrix of the system (direct-backend compatibility shim).
+
+        Kept for callers predating :meth:`linear_solver`; requires a
+        backend that actually holds an LU.
+        """
+        solver = self.linear_solver(assembly, eps_r)
+        if solver.lu is None:
+            raise RuntimeError(
+                f"factorize() needs an LU-backed solver; backend "
+                f"{self.solver_config.backend!r} returned none"
+            )
+        return solver.lu, solver.matrix
 
     def slab_mode(
         self, eps_line: np.ndarray, dl: float, omega: float, order: int
@@ -298,27 +460,47 @@ class SimulationWorkspace:
         return cached
 
     # ------------------------------------------------------------------ #
-    def stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss counters per cache (benchmark evidence)."""
-        return {
-            name: {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
-            for name, cache in (
-                ("assemblies", self._assemblies),
-                ("factorizations", self._factorizations),
-                ("modes", self._modes),
-            )
+    def stats(self) -> dict[str, dict]:
+        """Hit/miss counters and rates per cache (benchmark evidence).
+
+        Each cache reports raw ``hits``/``misses``/``size`` plus
+        ``hit_rate_pct`` (0.0 when the cache was never consulted); the
+        ``solver`` entry aggregates backend work (factorizations, RHS
+        columns, Krylov iterations, fallbacks).
+        """
+        report: dict[str, dict] = {}
+        for name, cache in (
+            ("assemblies", self._assemblies),
+            ("factorizations", self._factorizations),
+            ("modes", self._modes),
+        ):
+            total = cache.hits + cache.misses
+            report[name] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "size": len(cache),
+                "hit_rate_pct": round(100.0 * cache.hits / total, 1) if total else 0.0,
+            }
+        report["solver"] = {
+            "backend": self.solver_config.backend,
+            **self.solver_stats.as_dict(),
         }
+        return report
 
     def clear(self) -> None:
         self._assemblies.clear()
         self._factorizations.clear()
         self._modes.clear()
+        self.solver_stats.reset()
+        with self._anchor_lock:
+            self._anchors.clear()
 
     # Pickling support: ship an empty workspace (LU objects cannot be
     # pickled; worker processes re-warm their own caches).
     def __getstate__(self):
         return {
             "factor_options": self.factor_options,
+            "solver_config": self.solver_config,
             "max_assemblies": self._assemblies.maxsize,
             "max_factorizations": self._factorizations.maxsize,
             "max_modes": self._modes.maxsize,
@@ -330,6 +512,7 @@ class SimulationWorkspace:
             max_factorizations=state["max_factorizations"],
             max_modes=state["max_modes"],
             factor_options=state["factor_options"],
+            solver_config=state.get("solver_config"),
         )
 
 

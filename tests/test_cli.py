@@ -20,6 +20,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["design", "modulator"])
 
+    def test_design_solver_flag(self):
+        args = build_parser().parse_args(
+            ["design", "bending", "--solver", "krylov"]
+        )
+        assert args.solver == "krylov"
+        assert build_parser().parse_args(["design", "bending"]).solver == "direct"
+
+    def test_help_documents_solver_fallback(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--help"])
+        # argparse re-wraps help text to the terminal width; compare on
+        # whitespace-normalized output.
+        out = " ".join(capsys.readouterr().out.split())
+        assert "--solver" in out
+        assert "falls back" in out
+
     def test_baseline_rejects_unknown_method(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["baseline", "bending", "MagicOpt"])
@@ -60,6 +76,27 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "post-fab FoM" in out
+
+    def test_design_with_krylov_solver(self, tmp_path, capsys):
+        out_path = tmp_path / "design_krylov.json"
+        code = main(
+            [
+                "design",
+                "bending",
+                "--iterations",
+                "2",
+                "--sampling",
+                "nominal",
+                "--solver",
+                "krylov",
+                "--quiet",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        capsys.readouterr()
 
     def test_baseline_command(self, tmp_path, capsys):
         out_path = tmp_path / "ls.json"

@@ -52,6 +52,56 @@ class TestWavelengthSweep:
             wavelength_sweep(device, pattern, [1.55, -1.0])
 
 
+class TestWavelengthClones:
+    def test_clone_memoized_and_shares_workspace(self, bend_with_pattern):
+        device, _ = bend_with_pattern
+        clone = device.at_wavelength(1.50)
+        assert clone is device.at_wavelength(1.50)
+        assert clone is not device
+        assert clone.workspace is device.workspace
+        assert clone.omega != device.omega
+
+    def test_centre_wavelength_returns_self(self, bend_with_pattern):
+        device, _ = bend_with_pattern
+        assert device.at_wavelength(device.wavelength_um) is device
+
+    def test_repeated_sweep_reuses_calibrations(self):
+        from repro.fdfd import SimulationWorkspace
+
+        device = make_device("bending")
+        workspace = SimulationWorkspace()
+        device.configure_simulation_cache(True, workspace)
+        pattern = rasterize_segments(
+            device.design_shape, device.dl, device.init_segments()
+        )
+        first = wavelength_sweep(device, pattern, [1.50, 1.60])
+        factorizations_after_first = workspace.stats()["solver"]["factorizations"]
+        second = wavelength_sweep(device, pattern, [1.50, 1.60])
+        # The second sweep re-solves only the two design patterns; the
+        # per-wavelength calibration runs come from the memoized clones.
+        grown = (
+            workspace.stats()["solver"]["factorizations"]
+            - factorizations_after_first
+        )
+        assert grown == 0
+        np.testing.assert_array_equal(first.foms, second.foms)
+
+    def test_clones_dropped_on_pickle(self, bend_with_pattern):
+        import pickle
+
+        device, _ = bend_with_pattern
+        device.at_wavelength(1.48)
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone._wavelength_clones == {}
+
+    def test_cache_reconfigure_drops_clones(self):
+        device = make_device("bending")
+        device.at_wavelength(1.51)
+        assert device._wavelength_clones
+        device.configure_simulation_cache(False)
+        assert device._wavelength_clones == {}
+
+
 class TestBandwidth:
     def test_flat_spectrum_full_band(self):
         result = SpectrumResult(
