@@ -1,8 +1,8 @@
-"""Perf-evidence runner for the linear-solver subsystem (PR 2).
+"""Perf-evidence runner for the block-corner Krylov solves (PR 3).
 
 Times the per-iteration optimizer cost of every registered solver
 backend against the seed-equivalent cold pipeline and writes
-``BENCH_PR2.json``:
+``BENCH_PR3.json``:
 
 * ``solver``     — one HelmholtzSolver construction: seed reference
   (full rebuild + COLAMD) vs. tuned cold vs. warm workspace.
@@ -10,16 +10,22 @@ backend against the seed-equivalent cold pipeline and writes
   ``Boson1Optimizer`` on the bending device with fabrication corners on
   (the paper's dominant cost), seed-equivalent vs. each backend
   (``direct`` = the PR 1 warm path, ``batched``, ``krylov`` with the
-  nominal-corner LU recycled across corners), with per-run workspace
-  cache hit rates and Krylov convergence statistics.
+  nominal-corner LU recycled across corners, ``krylov-block`` with the
+  whole corner family solved through shared matrix-RHS block sweeps),
+  with per-run workspace cache hit rates and convergence statistics.
+* ``block``      — the headline PR 3 evidence: blocked sweeps per
+  corner block vs. the scalar path's per-column sweeps, factorizations
+  per run, and the per-iteration speedup over scalar krylov.
 * ``montecarlo`` — ``evaluate_post_fab`` wall time, seed-equivalent
-  vs. cached.
+  vs. cached vs. blocked.
 
 The backends are also cross-checked: ``batched`` must reproduce the
-direct FoM trajectory bit for bit, ``krylov`` to solver precision.
-Finally the iteration numbers are compared against ``BENCH_PR1.json``
-(if present): a slower warm-direct path or a Krylov backend that fails
-to beat it is reported as a REGRESSION and the run exits non-zero.
+direct FoM trajectory bit for bit, ``krylov`` and ``krylov-block`` to
+solver precision.  Finally the numbers are compared against
+``BENCH_PR2.json`` (if present): a slower warm-direct or scalar-krylov
+path, a block path that loses to scalar krylov, or a block path that
+stops amortizing sweeps is reported as a REGRESSION and the run exits
+non-zero.
 
 Usage::
 
@@ -64,7 +70,7 @@ from repro.fdfd.workspace import (  # noqa: E402
 )
 from repro.utils.constants import omega_from_wavelength  # noqa: E402
 
-BACKENDS = ("direct", "batched", "krylov")
+BACKENDS = ("direct", "batched", "krylov", "krylov-block")
 
 
 def _time_repeat(fn, repeats: int) -> float:
@@ -160,8 +166,15 @@ def _cache_summary(stats: dict) -> dict:
     }
 
 
-def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
-    """Per-iteration wall time on the bending device, fab corners on."""
+def bench_iteration(iterations: int, rounds: int = 2) -> tuple[dict, np.ndarray]:
+    """Per-iteration wall time on the bending device, fab corners on.
+
+    Backends run in alternating *rounds* and each keeps its best round —
+    sequential one-shot timings would charge whichever backend runs last
+    for any ambient-load drift on a shared box (the runs are
+    deterministic, so the physics and solver statistics are identical
+    across rounds; only the clock differs).
+    """
     base = dict(iterations=iterations, seed=0)
 
     # Seed-equivalent: no caches, SciPy-default COLAMD factorization.
@@ -174,19 +187,28 @@ def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
         set_default_factor_options(previous)
 
     runs = {}
-    for backend in BACKENDS:
-        runs[backend] = _timed_run(
-            OptimizerConfig(solver=backend, **base), iterations
-        )
+    for _ in range(rounds):
+        for backend in BACKENDS:
+            timed = _timed_run(
+                OptimizerConfig(solver=backend, **base), iterations
+            )
+            if backend not in runs or timed[0] < runs[backend][0]:
+                runs[backend] = timed
     t_direct, r_direct, _ = runs["direct"]
 
     # Same physics across the board: seed vs. cached to factorization
     # roundoff, batched == direct bit for bit (single-direction device),
-    # krylov to solver precision.
+    # krylov and krylov-block to solver precision.
     assert np.allclose(r_seed.fom_trace(), r_direct.fom_trace(), atol=1e-6)
     assert np.array_equal(runs["batched"][1].fom_trace(), r_direct.fom_trace())
     assert np.allclose(
         runs["krylov"][1].fom_trace(), r_direct.fom_trace(), rtol=1e-5, atol=1e-7
+    )
+    assert np.allclose(
+        runs["krylov-block"][1].fom_trace(),
+        r_direct.fom_trace(),
+        rtol=1e-5,
+        atol=1e-7,
     )
 
     backends = {}
@@ -199,13 +221,17 @@ def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
         }
         solver_stats = stats["solver"]
         entry["factorizations"] = solver_stats["factorizations"]
-        if backend == "krylov":
+        if backend in ("krylov", "krylov-block"):
             entry["krylov_solves"] = solver_stats["krylov_solves"]
             entry["mean_krylov_iterations"] = round(
                 solver_stats["iterations"] / max(1, solver_stats["krylov_solves"]),
                 2,
             )
             entry["fallbacks"] = solver_stats["fallbacks"]
+        if backend == "krylov-block":
+            entry["block_solves"] = solver_stats["block_solves"]
+            entry["block_sweeps"] = solver_stats["block_sweeps"]
+            entry["block_columns"] = solver_stats["block_columns"]
         if backend == "batched":
             entry["batched_calls"] = solver_stats["batched_calls"]
         backends[backend] = entry
@@ -217,8 +243,43 @@ def bench_iteration(iterations: int) -> tuple[dict, np.ndarray]:
         "seed_equivalent_s_per_iter": t_seed / iterations,
         "backends": backends,
         "krylov_speedup_vs_direct": t_direct / runs["krylov"][0],
+        "block_speedup_vs_krylov": runs["krylov"][0] / runs["krylov-block"][0],
     }
     return report, r_direct.pattern
+
+
+def block_evidence(iteration: dict) -> dict:
+    """The PR 3 headline numbers: blocked sweeps vs. scalar sweeps.
+
+    The scalar ``krylov`` path pays one preconditioner application pair
+    per column iteration; the block path pays one *matrix-RHS* pair per
+    blocked sweep covering the whole active corner family.  Fewer block
+    sweeps per iteration than scalar per-column iterations is the
+    amortization the ROADMAP item asked for.
+    """
+    iters = iteration["iterations"]
+    scalar = iteration["backends"]["krylov"]
+    block = iteration["backends"]["krylov-block"]
+    block_sweeps_per_iter = block["block_sweeps"] / iters
+    scalar_sweeps_per_iter = (
+        scalar["krylov_solves"] * scalar["mean_krylov_iterations"] / iters
+    )
+    return {
+        "s_per_iter": block["s_per_iter"],
+        "speedup_vs_scalar_krylov": iteration["block_speedup_vs_krylov"],
+        "speedup_vs_direct": block["speedup_vs_direct"],
+        "block_solves_per_iter": block["block_solves"] / iters,
+        "sweeps_per_corner_block": round(
+            block["block_sweeps"] / max(1, block["block_solves"]), 2
+        ),
+        "block_sweeps_per_iter": round(block_sweeps_per_iter, 2),
+        "scalar_sweeps_per_iter": round(scalar_sweeps_per_iter, 2),
+        "sweep_amortization": round(
+            scalar_sweeps_per_iter / max(1e-9, block_sweeps_per_iter), 2
+        ),
+        "factorizations_per_run": block["factorizations"],
+        "fallbacks": block["fallbacks"],
+    }
 
 
 def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
@@ -248,16 +309,32 @@ def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
     )
     t_warm = time.perf_counter() - t0
     assert np.allclose(r_seed.foms, r_warm.foms, atol=1e-6)
+
+    # Blocked evaluation: every sample's forward system joins one
+    # blocked solve (first sample anchors, stragglers fall back).
+    device.configure_simulation_cache(
+        True, SimulationWorkspace(solver_config="krylov-block")
+    )
+    t0 = time.perf_counter()
+    r_block = evaluate_post_fab(
+        device, process, pattern, n_samples=n_samples, seed=1234
+    )
+    t_block = time.perf_counter() - t0
+    assert np.allclose(r_seed.foms, r_block.foms, rtol=1e-4, atol=1e-6)
     return {
         "n_samples": n_samples,
         "seed_equivalent_s": t_seed,
         "cached_s": t_warm,
+        "blocked_s": t_block,
         "speedup": t_seed / t_warm,
+        "blocked_speedup": t_seed / t_block,
     }
 
 
-def compare_with_baseline(iteration: dict, baseline_path: Path) -> list[str]:
-    """Regression gates against the PR 1 numbers.  Returns failures.
+def compare_with_baseline(
+    iteration: dict, block: dict, baseline_path: Path
+) -> list[str]:
+    """Regression gates against the PR 2 numbers.  Returns failures.
 
     Every gate carries noise head-room: wall-clock jitter on a shared
     1-core box is easily 10%, and a regression gate that cries wolf on a
@@ -268,28 +345,42 @@ def compare_with_baseline(iteration: dict, baseline_path: Path) -> list[str]:
     failures: list[str] = []
     direct = iteration["backends"]["direct"]["s_per_iter"]
     krylov = iteration["backends"]["krylov"]["s_per_iter"]
-    # Same-run comparison is jitter-resistant (both runs see the same
+    blocked = iteration["backends"]["krylov-block"]["s_per_iter"]
+    # Same-run comparisons are jitter-resistant (both runs see the same
     # ambient load); 5% head-room covers scheduling noise.
     if krylov >= 1.05 * direct:
         failures.append(
             f"krylov ({krylov:.4f} s/iter) regressed against the same-run "
             f"warm direct path ({direct:.4f} s/iter, 5% head-room)"
         )
+    if blocked >= 1.05 * krylov:
+        failures.append(
+            f"krylov-block ({blocked:.4f} s/iter) loses to the same-run "
+            f"scalar krylov path ({krylov:.4f} s/iter, 5% head-room)"
+        )
+    if block["block_sweeps_per_iter"] >= block["scalar_sweeps_per_iter"]:
+        failures.append(
+            f"block path stopped amortizing sweeps: "
+            f"{block['block_sweeps_per_iter']} blocked sweeps/iter vs. "
+            f"{block['scalar_sweeps_per_iter']} scalar sweeps/iter"
+        )
     if not baseline_path.exists():
-        print(f"note: no baseline at {baseline_path}; skipping PR1 comparison")
+        print(f"note: no baseline at {baseline_path}; skipping PR2 comparison")
         return failures
     baseline = json.loads(baseline_path.read_text())
-    pr1_warm = baseline["iteration"]["cached_serial_s_per_iter"]
-    # Cross-run absolute comparisons get 25% / 10% head-room.
-    if direct > 1.25 * pr1_warm:
+    pr2_backends = baseline["iteration"]["backends"]
+    pr2_direct = pr2_backends["direct"]["s_per_iter"]
+    pr2_krylov = pr2_backends["krylov"]["s_per_iter"]
+    # Cross-run absolute comparisons get 25% head-room.
+    if direct > 1.25 * pr2_direct:
         failures.append(
             f"warm direct path regressed: {direct:.4f} s/iter vs. "
-            f"PR1's {pr1_warm:.4f} s/iter (25% head-room)"
+            f"PR2's {pr2_direct:.4f} s/iter (25% head-room)"
         )
-    if krylov >= 1.10 * pr1_warm:
+    if krylov > 1.25 * pr2_krylov:
         failures.append(
-            f"krylov ({krylov:.4f} s/iter) does not beat PR1's warm direct "
-            f"path ({pr1_warm:.4f} s/iter, 10% head-room)"
+            f"scalar krylov regressed: {krylov:.4f} s/iter vs. "
+            f"PR2's {pr2_krylov:.4f} s/iter (25% head-room)"
         )
     return failures
 
@@ -310,11 +401,17 @@ def _print_iteration_report(iteration: dict) -> None:
             for name in ("assemblies", "factorizations", "modes")
         )
         print(f"            cache hit rates: {rates}")
-        if backend == "krylov":
+        if backend in ("krylov", "krylov-block"):
             print(
                 f"            krylov: {entry['krylov_solves']} solves, "
                 f"{entry['mean_krylov_iterations']} sweeps/solve, "
                 f"{entry['fallbacks']} fallbacks"
+            )
+        if backend == "krylov-block":
+            print(
+                f"            block: {entry['block_solves']} block solves, "
+                f"{entry['block_sweeps']} blocked sweeps over "
+                f"{entry['block_columns']} columns"
             )
 
 
@@ -323,12 +420,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--iterations", type=int, default=8)
     parser.add_argument("--mc-samples", type=int, default=8)
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR2.json")
+        "--output", default=str(REPO_ROOT / "BENCH_PR3.json")
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_PR1.json"),
-        help="PR1 benchmark JSON to regression-check against",
+        default=str(REPO_ROOT / "BENCH_PR2.json"),
+        help="PR2 benchmark JSON to regression-check against",
     )
     parser.add_argument(
         "--skip-pytest-bench",
@@ -346,15 +443,20 @@ def main(argv: list[str] | None = None) -> int:
     iteration, pattern = bench_iteration(args.iterations)
     _print_iteration_report(iteration)
 
+    print("== block-corner evidence ==")
+    block = block_evidence(iteration)
+    for key, value in block.items():
+        print(f"  {key}: {round(value, 4)}")
+
     print("== Monte-Carlo evaluation ==")
     montecarlo = bench_montecarlo(pattern, args.mc_samples)
     for key, value in montecarlo.items():
         print(f"  {key}: {round(value, 4)}")
 
-    failures = compare_with_baseline(iteration, Path(args.baseline))
+    failures = compare_with_baseline(iteration, block, Path(args.baseline))
 
     payload = {
-        "benchmark": "PR2 linear-solver subsystem",
+        "benchmark": "PR3 block-corner Krylov solves",
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -362,6 +464,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "solver": solver,
         "iteration": iteration,
+        "block": block,
         "montecarlo": montecarlo,
         "regressions": failures,
     }

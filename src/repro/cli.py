@@ -64,11 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BACKEND",
         help=(
             "linear-solver backend: direct (one LU per corner), batched "
-            "(direct + multi-RHS triangular sweeps), or krylov "
+            "(direct + multi-RHS triangular sweeps), krylov "
             "(BiCGStab preconditioned by the nominal corner's LU, "
             "recycled across the iteration's fabrication corners; a "
             "non-converging solve falls back to a direct factorization "
-            "automatically). krylov:gmres selects GMRES."
+            "automatically), or krylov-block (krylov whose corner "
+            "fan-out is one blocked BiCGStab: the preconditioner and "
+            "operator are applied to the whole corner block in single "
+            "matrix-RHS sweeps, columns converge independently, and "
+            "non-converging corners fall back to their own direct "
+            "factorizations; taped thread-pool execution and "
+            "single-corner solves fall back to scalar krylov "
+            "behaviour). krylov:gmres selects GMRES for the scalar "
+            "solves (the block algorithm is always BiCGStab)."
         ),
     )
 
@@ -87,8 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BACKEND",
         help=(
             "linear-solver backend for the evaluation solves: direct | "
-            "batched | krylov[:gmres] (see `design --help`; krylov falls "
-            "back to direct factorization on non-convergence)"
+            "batched | krylov[:gmres] | krylov-block (see `design "
+            "--help`; krylov falls back to direct factorization on "
+            "non-convergence, and krylov-block additionally batches all "
+            "Monte-Carlo samples of a serial evaluation into one "
+            "blocked solve)"
         ),
     )
 

@@ -80,9 +80,14 @@ class OptimizerConfig:
         :class:`~repro.fdfd.linalg.SolverConfig` or a backend name —
         ``"direct"`` (one LU per permittivity, the reference),
         ``"batched"`` (direct + matrix-RHS sweeps and multi-direction
-        batching) or ``"krylov"`` (nominal-LU-preconditioned
+        batching), ``"krylov"`` (nominal-LU-preconditioned
         BiCGStab/GMRES across corners, with automatic direct fallback;
-        ``"krylov:gmres"`` selects GMRES).  ``None`` (the default)
+        ``"krylov:gmres"`` selects GMRES) or ``"krylov-block"``
+        (krylov whose serial corner fan-out is one *blocked* BiCGStab —
+        preconditioner and operator applied to the whole corner block
+        in single matrix-RHS sweeps, per-column convergence masking,
+        per-corner direct fallback; threaded execution falls back to
+        the scalar per-corner path).  ``None`` (the default)
         inherits whatever backend the device's workspace is already
         configured with — so a device set up via
         ``configure_simulation_cache(True, SimulationWorkspace(

@@ -19,7 +19,11 @@ import numpy as np
 
 from repro.autodiff import Tensor
 from repro.core.config import OptimizerConfig
-from repro.core.executors import make_executor, map_ordered_with_serial_head
+from repro.core.executors import (
+    SerialExecutor,
+    make_executor,
+    map_ordered_with_serial_head,
+)
 from repro.core.objective import build_loss, radiation_power
 from repro.core.optimizer import Adam
 from repro.core.relaxation import RelaxationSchedule
@@ -237,6 +241,49 @@ class Boson1Optimizer:
         loss = build_loss(self.terms, powers, self.config.dense_objectives)
         return loss, powers
 
+    def _corner_losses_block(self, rho: Tensor, corners, include_ideal: bool):
+        """All corner losses from one blocked forward/adjoint solve pair.
+
+        The fabrication chain still runs (taped) per corner, but every
+        corner's FDFD system joins a single
+        :meth:`PhotonicDevice.port_powers_corners` block solve — shared
+        ``L @ X`` products and single matrix-RHS preconditioner sweeps —
+        and the whole family's gradients arrive through one transposed
+        block solve on the backward pass.  While the Eq. (3) relaxation
+        ramp is active (``include_ideal``), the ideal-condition system —
+        which shares the Laplacian like any corner — rides along as one
+        extra column instead of paying its own scalar solve pair.
+
+        Returns ``None`` when the device cannot batch (backend not
+        block-capable, or a port inside the design window); the caller
+        then uses the per-corner fan-out.  Otherwise returns
+        ``(corner_results, ideal_result)`` with ``ideal_result`` being
+        ``None`` unless requested.
+        """
+        alphas = [
+            alpha_of_temperature(corner.temperature_k) for corner in corners
+        ]
+        if include_ideal:
+            alphas.append(1.0)
+        # Gate before fabricating: when the device can never batch (a
+        # port inside the design window), the taped per-corner litho
+        # chains built here would be thrown away every iteration.
+        if not self.device.can_batch_corners(alphas):
+            return None
+        rho_fabs = [self.process.apply(rho, corner) for corner in corners]
+        if include_ideal:
+            rho_fabs.append(rho)
+        powers_list = self.device.port_powers_corners(rho_fabs, alphas)
+        if powers_list is None:
+            return None
+        results = [
+            (build_loss(self.terms, powers, self.config.dense_objectives), powers)
+            for powers in powers_list
+        ]
+        if include_ideal:
+            return results[:-1], results[-1]
+        return results, None
+
     def loss(
         self, theta_t: Tensor, iteration: int
     ) -> tuple[Tensor, dict[str, dict[str, float]], int]:
@@ -250,8 +297,12 @@ class Boson1Optimizer:
         strategy) is evaluated before the fan-out so the ``krylov``
         backend's preconditioner anchor is established deterministically
         too; its results match the direct backend to solver tolerance.
-        The returned corner count is the number the loss actually
-        averaged over (0 when ``use_fab`` is off).
+        With a block-capable backend (``krylov-block``) and the serial
+        executor, the fan-out is replaced by one blocked solve per
+        direction of the tape (:meth:`_corner_losses_block`); taped
+        threaded execution keeps the per-corner path.  The returned
+        corner count is the number the loss actually averaged over (0
+        when ``use_fab`` is off).
         """
         if self.device.workspace is not None:
             # New iteration, new pattern: refresh the Krylov
@@ -274,21 +325,45 @@ class Boson1Optimizer:
         if isinstance(self.sampler, AxialPlusWorstSampling):
             worst_finder = self._make_worst_finder(rho)
         corners = self.sampler.corners(iteration, self.rng, worst_finder)
+        if not corners:
+            raise ValueError(
+                f"sampling strategy {self.sampler.name!r} "
+                f"({type(self.sampler).__name__}) produced no corners at "
+                f"iteration {iteration} with use_fab=True; the Eq. (3) "
+                "fabrication loss needs at least one corner to average over"
+            )
 
-        # With a preconditioned backend, the first corner (the nominal
-        # one, for every built-in sampling strategy) is evaluated before
-        # the fan-out so the epoch's preconditioner anchor is
-        # established deterministically — a pooled executor would
-        # otherwise anchor whichever corner thread ran first.  LU-backed
-        # backends keep the full fan-out (no anchor, and a serial head
-        # would cost threaded runs one corner of overlap).
+        p = self.schedule.p(iteration)
         workspace = self.device.workspace
-        corner_results = map_ordered_with_serial_head(
-            self.executor,
-            lambda corner: self._corner_loss(rho, corner),
-            corners,
-            workspace is not None and workspace.solver_uses_preconditioner,
-        )
+        corner_results = None
+        ideal_result = None
+        if (
+            workspace is not None
+            and workspace.supports_corner_block
+            and isinstance(self.executor, SerialExecutor)
+        ):
+            # Block-corner path: every corner's system joins one blocked
+            # forward solve (and one blocked adjoint solve on backward),
+            # with the relaxation ramp's ideal system as an extra column.
+            blocked = self._corner_losses_block(
+                rho, corners, include_ideal=p < 1.0
+            )
+            if blocked is not None:
+                corner_results, ideal_result = blocked
+        if corner_results is None:
+            # With a preconditioned backend, the first corner (the nominal
+            # one, for every built-in sampling strategy) is evaluated before
+            # the fan-out so the epoch's preconditioner anchor is
+            # established deterministically — a pooled executor would
+            # otherwise anchor whichever corner thread ran first.  LU-backed
+            # backends keep the full fan-out (no anchor, and a serial head
+            # would cost threaded runs one corner of overlap).
+            corner_results = map_ordered_with_serial_head(
+                self.executor,
+                lambda corner: self._corner_loss(rho, corner),
+                corners,
+                workspace is not None and workspace.solver_uses_preconditioner,
+            )
         fab_loss = None
         total_weight = 0.0
         for corner, (loss_c, powers_c) in zip(corners, corner_results):
@@ -302,9 +377,11 @@ class Boson1Optimizer:
                 }
         fab_loss = fab_loss * (1.0 / total_weight)
 
-        p = self.schedule.p(iteration)
         if p < 1.0:
-            ideal_loss, ideal_powers = self._ideal_loss(rho)
+            if ideal_result is not None:
+                ideal_loss, ideal_powers = ideal_result
+            else:
+                ideal_loss, ideal_powers = self._ideal_loss(rho)
             total = fab_loss * p + ideal_loss * (1.0 - p)
             if nominal_powers is None:
                 nominal_powers = {

@@ -1,11 +1,13 @@
 """Pluggable linear-solver subsystem for the FDFD stack.
 
 See :mod:`repro.fdfd.linalg.base` for the interface and registry,
-:mod:`repro.fdfd.linalg.direct` for the SuperLU backends, and
+:mod:`repro.fdfd.linalg.direct` for the SuperLU backends,
 :mod:`repro.fdfd.linalg.krylov` for the preconditioned iterative
-backend.  Backend selection is a string key (``direct`` / ``batched`` /
-``krylov``) carried by :class:`SolverConfig` from the optimizer config
-and the CLI down to :class:`repro.fdfd.workspace.SimulationWorkspace`.
+backend, and :mod:`repro.fdfd.linalg.blocked` for the corner-block
+variant.  Backend selection is a string key (``direct`` / ``batched`` /
+``krylov`` / ``krylov-block``) carried by :class:`SolverConfig` from the
+optimizer config and the CLI down to
+:class:`repro.fdfd.workspace.SimulationWorkspace`.
 """
 
 from repro.fdfd.linalg.base import (
@@ -16,6 +18,11 @@ from repro.fdfd.linalg.base import (
     available_backends,
     make_linear_solver,
     register_solver,
+)
+from repro.fdfd.linalg.blocked import (
+    BlockDiagnostics,
+    BlockedKrylovSolver,
+    CornerBlockSolver,
 )
 from repro.fdfd.linalg.direct import BatchedDirectSolver, DirectSolver
 from repro.fdfd.linalg.krylov import KrylovDiagnostics, PreconditionedKrylovSolver
@@ -32,4 +39,7 @@ __all__ = [
     "BatchedDirectSolver",
     "PreconditionedKrylovSolver",
     "KrylovDiagnostics",
+    "BlockedKrylovSolver",
+    "CornerBlockSolver",
+    "BlockDiagnostics",
 ]

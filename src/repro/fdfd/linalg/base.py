@@ -113,6 +113,11 @@ class SolverConfig:
             raise ValueError("maxiter must be >= 1")
         if self.max_anchors < 1:
             raise ValueError("max_anchors must be >= 1")
+        if self.gmres_restart < 1:
+            raise ValueError(
+                f"gmres_restart must be >= 1, got {self.gmres_restart} "
+                "(the GMRES outer-cycle count divides maxiter by it)"
+            )
 
     @classmethod
     def coerce(cls, spec: "SolverConfig | str | None") -> "SolverConfig":
@@ -141,7 +146,13 @@ class SolveStats:
 
     ``iterations`` counts Krylov sweeps only; a direct (or fallback)
     solve contributes to ``factorizations`` and ``solves`` but not to
-    ``iterations``.
+    ``iterations``.  The ``block_*`` counters describe corner-block
+    solves (the ``krylov-block`` backend): ``block_sweeps`` counts
+    *blocked* BiCGStab sweeps — each applies the preconditioner and the
+    operator to the whole active corner block in single matrix-RHS
+    calls, so one block sweep amortizes what the scalar path pays once
+    per column — while the per-column convergence work still lands in
+    ``krylov_solves`` / ``iterations`` for like-for-like means.
     """
 
     _FIELDS = (
@@ -153,6 +164,9 @@ class SolveStats:
         "iterations",
         "wasted_iterations",
         "fallbacks",
+        "block_solves",
+        "block_sweeps",
+        "block_columns",
     )
 
     def __init__(self):

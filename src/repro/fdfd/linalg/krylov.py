@@ -32,7 +32,7 @@ from repro.fdfd.linalg.base import (
     SolverConfig,
     register_solver,
 )
-from repro.fdfd.linalg.direct import DirectSolver
+from repro.fdfd.linalg.direct import BatchedDirectSolver, DirectSolver
 
 __all__ = ["PreconditionedKrylovSolver", "KrylovDiagnostics"]
 
@@ -146,7 +146,10 @@ class PreconditionedKrylovSolver(LinearSolver):
 
     def _ensure_direct(self) -> DirectSolver:
         if self._direct is None:
-            self._direct = DirectSolver.build(
+            # A batched direct solver, so post-fallback multi-RHS blocks
+            # go through one SuperLU matrix-RHS sweep (bit-identical to
+            # per-column sweeps) instead of k round-trips.
+            self._direct = BatchedDirectSolver.build(
                 self.matrix, self._factor_options, stats=self.stats
             )
             self.stats.add(fallbacks=1)
@@ -229,6 +232,11 @@ class PreconditionedKrylovSolver(LinearSolver):
         rhs = np.asarray(rhs, dtype=np.complex128)
         if rhs.ndim != 2:
             raise ValueError(f"solve_many expects an (n, k) block, got {rhs.shape}")
+        if self._direct is not None:
+            # A previous solve already fell back: the factorization is
+            # paid for, so hand the whole block to one SuperLU matrix-RHS
+            # sweep instead of paying k per-column round-trips.
+            return self._direct.solve_many(rhs, trans=trans)
         out = np.empty_like(rhs)
         for j in range(rhs.shape[1]):
             out[:, j] = self.solve(rhs[:, j], trans=trans)
