@@ -62,12 +62,20 @@ class OptimizerConfig:
         Root seed for every stochastic component.
     corner_executor:
         Backend for the per-iteration corner fan-out: ``"serial"``
-        (default) or ``"thread"`` / ``"thread:n"``.  Corner losses are
-        independent and reduced in a fixed order, so every backend
-        produces bit-identical results; the ``process`` backend is
-        reserved for tape-free evaluation
-        (:func:`repro.eval.montecarlo.evaluate_post_fab`) because taped
-        corner losses cannot cross process boundaries.
+        (default), ``"thread"`` / ``"thread:n"``, or ``"process"`` /
+        ``"process:n"``.  Corner losses are independent and reduced in
+        a fixed order; serial and thread executors produce bit-identical
+        results for LU-backed solver backends (``direct``/``batched``;
+        preconditioned backends agree to solver tolerance, since
+        fallback anchors arrive in scheduling order and the serial
+        executor takes the blocked path for ``krylov-block``).  The
+        process backend routes through the forward-replay
+        fan-out — workers run only the forward FDFD solves on
+        pickle-clean payloads and the parent assembles the taped VJPs
+        from the returned adjoint-basis columns — so its losses and
+        gradients match the serial path to solver precision (the
+        adjoint is recombined from per-port solves) and it scales with
+        cores on multi-core machines.
     executor_workers:
         Worker count for pooled backends (``None`` = automatic).
     simulation_cache:
@@ -143,10 +151,10 @@ class OptimizerConfig:
         if not 0.0 <= self.p_start <= 1.0:
             raise ValueError("p_start must lie in [0, 1]")
         backend = self.corner_executor.partition(":")[0]
-        if backend not in ("serial", "thread"):
+        if backend not in ("serial", "thread", "process"):
             raise ValueError(
-                "corner_executor must be 'serial' or 'thread' (taped corner "
-                f"losses cannot cross processes), got {self.corner_executor!r}"
+                "corner_executor must be 'serial', 'thread' or 'process', "
+                f"got {self.corner_executor!r}"
             )
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1")

@@ -12,6 +12,8 @@ switches; see that module for the ablation mapping.
 
 from __future__ import annotations
 
+import functools
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,6 +25,8 @@ from repro.core.executors import (
     SerialExecutor,
     make_executor,
     map_ordered_with_serial_head,
+    run_warm_task,
+    stable_worker_token,
 )
 from repro.core.objective import build_loss, radiation_power
 from repro.core.optimizer import Adam
@@ -44,6 +48,52 @@ from repro.params.initializers import (
 from repro.utils.seeding import rng_from_seed
 
 __all__ = ["Boson1Optimizer", "OptimizationResult", "IterationRecord"]
+
+
+class _CornerWorkerState:
+    """Per-worker warm state of one optimizer's process corner fan-out.
+
+    Lives in the worker's :func:`repro.core.executors.worker_warm` pool:
+    the device (and its re-warmed simulation workspace) survives across
+    chunks and iterations, and ``epoch`` tracks the parent's solver
+    epoch so preconditioner anchors are dropped exactly once per
+    iteration — the worker-side mirror of the parent's
+    ``begin_solver_epoch`` call.
+    """
+
+    def __init__(self, device: PhotonicDevice):
+        self.device = device
+        self.epoch: int | None = None
+
+    def summarize(self, epoch: int, alpha_bg: float, rho_fab: np.ndarray):
+        workspace = self.device.workspace
+        if workspace is not None and epoch != self.epoch:
+            workspace.begin_solver_epoch()
+        self.epoch = epoch
+        return self.device.solve_forward_summary(rho_fab, alpha_bg)
+
+
+def _corner_forward_task(token, device, epoch, item):
+    """One forward-replay task (module-level so process pools can pickle).
+
+    ``item`` is a pickle-clean ``(alpha_bg, rho_fab array)`` pair; the
+    result is ``(ForwardSolveSummary, solver-stats delta, worker pid)``.
+    The pid rides along as evidence that forked workers actually ran
+    (asserted by tests and recorded by the benchmark).  The warm-pool /
+    stats-delta / inline-parent protocol lives in
+    :func:`repro.core.executors.run_warm_task`; the inline variant
+    skips the epoch reset (the parent manages its own epochs).
+    """
+    alpha_bg, rho_fab = item
+    return run_warm_task(
+        token,
+        _CornerWorkerState(device),
+        lambda state: state.summarize(epoch, alpha_bg, rho_fab),
+        lambda state: state.device.workspace,
+        inline_task=lambda state: state.device.solve_forward_summary(
+            rho_fab, alpha_bg
+        ),
+    )
 
 
 @dataclass
@@ -140,6 +190,11 @@ class Boson1Optimizer:
         self.executor = make_executor(
             self.config.corner_executor, self.config.executor_workers
         )
+        #: Distinct worker pids seen by the process corner fan-out
+        #: (empty for in-process executors) — test/benchmark evidence
+        #: that forked workers really carried the solves.
+        self.observed_worker_pids: set[int] = set()
+        self._solver_epoch = 0
         if process is None:
             process = FabricationProcess(
                 device.design_shape,
@@ -284,6 +339,64 @@ class Boson1Optimizer:
             return results[:-1], results[-1]
         return results, None
 
+    def _corner_losses_process(self, rho: Tensor, corners, include_ideal: bool):
+        """All corner losses via the fork-based forward-replay fan-out.
+
+        The taped fabrication chain runs per corner *in the parent*;
+        workers receive pickle-clean ``(alpha_bg, rho_fab bytes)``
+        payloads, replay only the forward FDFD solves
+        (:meth:`PhotonicDevice.solve_forward_summary`), and the
+        summaries are injected back into the taped graph through
+        :meth:`PhotonicDevice.port_powers_precomputed` — the backward
+        pass assembles every VJP from the worker-returned adjoint-basis
+        columns without a single parent-side solve.  Reduction is
+        ordered, so results are reproducible for any worker count;
+        gradients match the in-process executors to solver precision.
+        While the relaxation ramp is active the ideal-condition system
+        ships as one extra work item instead of a parent-side solve.
+        Worker solve statistics are merged into the parent workspace.
+        """
+        rho_fabs = [self.process.apply(rho, corner) for corner in corners]
+        alphas = [
+            alpha_of_temperature(corner.temperature_k) for corner in corners
+        ]
+        if include_ideal:
+            rho_fabs.append(rho)
+            alphas.append(1.0)
+        self._solver_epoch += 1
+        task = functools.partial(
+            _corner_forward_task,
+            stable_worker_token(self.device, ":design"),
+            self.device,
+            self._solver_epoch,
+        )
+        items = [
+            (alpha, np.asarray(fab.data, dtype=np.float64))
+            for alpha, fab in zip(alphas, rho_fabs)
+        ]
+        outcomes = self.executor.map_ordered(task, items)
+        workspace = self.device.workspace
+        results = []
+        for (summary, stats_delta, pid), rho_fab, alpha in zip(
+            outcomes, rho_fabs, alphas
+        ):
+            if pid != os.getpid():
+                # Single-item fan-outs run inline in the parent; only
+                # genuinely forked workers count as fan-out evidence.
+                self.observed_worker_pids.add(pid)
+            if workspace is not None:
+                workspace.merge_solver_stats(stats_delta)
+            powers = self.device.port_powers_precomputed(
+                rho_fab, summary, alpha_bg=alpha
+            )
+            loss = build_loss(
+                self.terms, powers, self.config.dense_objectives
+            )
+            results.append((loss, powers))
+        if include_ideal:
+            return results[:-1], results[-1]
+        return results, None
+
     def loss(
         self, theta_t: Tensor, iteration: int
     ) -> tuple[Tensor, dict[str, dict[str, float]], int]:
@@ -300,9 +413,13 @@ class Boson1Optimizer:
         With a block-capable backend (``krylov-block``) and the serial
         executor, the fan-out is replaced by one blocked solve per
         direction of the tape (:meth:`_corner_losses_block`); taped
-        threaded execution keeps the per-corner path.  The returned
-        corner count is the number the loss actually averaged over (0
-        when ``use_fab`` is off).
+        threaded execution keeps the per-corner path.  A process
+        executor routes through the forward-replay fan-out
+        (:meth:`_corner_losses_process`): workers carry the forward
+        solves, the parent assembles the VJPs, and results match the
+        serial path to solver precision.  The returned corner count is
+        the number the loss actually averaged over (0 when ``use_fab``
+        is off).
         """
         if self.device.workspace is not None:
             # New iteration, new pattern: refresh the Krylov
@@ -350,6 +467,16 @@ class Boson1Optimizer:
             )
             if blocked is not None:
                 corner_results, ideal_result = blocked
+        if (
+            corner_results is None
+            and not self.executor.supports_shared_memory
+        ):
+            # Process executor: the tape cannot cross process boundaries,
+            # so workers replay only the forward solves and the parent
+            # assembles the VJPs (see _corner_losses_process).
+            corner_results, ideal_result = self._corner_losses_process(
+                rho, corners, include_ideal=p < 1.0
+            )
         if corner_results is None:
             # With a preconditioned backend, the first corner (the nominal
             # one, for every built-in sampling strategy) is evaluated before

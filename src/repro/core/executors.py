@@ -12,21 +12,31 @@ can fan out without committing to a backend:
   (SuperLU factorization, BLAS solves, FFT lithography) releases the
   GIL.  Safe for taped (autodiff) work: corner subgraphs are disjoint
   and the tape is built from parent pointers, not global state.
-* ``process`` — ``ProcessPoolExecutor``; for tape-free workloads whose
-  task payloads are picklable (Monte-Carlo evaluation).  Workers re-warm
-  their own simulation caches.
+* ``process`` — ``ProcessPoolExecutor``; for picklable task payloads.
+  Tape-free workloads (Monte-Carlo evaluation) ship whole tasks; taped
+  corner losses go through the *forward-replay* seam — workers run only
+  the forward FDFD solves on pickle-clean ``(alpha, rho_fab)`` payloads
+  and the parent injects the returned solve summaries into the autodiff
+  graph (:meth:`repro.devices.base.PhotonicDevice.port_powers_precomputed`).
+  Workers re-warm their own simulation caches; :func:`worker_warm` keeps
+  the unpickled device (and its warmed workspace) alive across chunks
+  and map calls so only the first task of a fan-out pays the re-warm.
 
 Determinism contract
 --------------------
 :meth:`CornerExecutor.map_ordered` always returns results in **input
 order**, whatever order workers finish in, and callers reduce serially
 over that list — so results are bit-reproducible regardless of backend
-and worker count (asserted by the test suite).
+and worker count (asserted by the test suite).  Preconditioned solver
+backends are the one exception: each worker process anchors its own
+chunk, so iterative results agree with serial only to solver tolerance.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -37,11 +47,122 @@ __all__ = [
     "ProcessExecutor",
     "make_executor",
     "map_ordered_with_serial_head",
+    "worker_warm",
+    "run_warm_task",
+    "stable_worker_token",
+    "task_in_parent",
     "EXECUTOR_BACKENDS",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+# --------------------------------------------------------------------- #
+# Worker-side warm pool                                                 #
+# --------------------------------------------------------------------- #
+#: Per-process cache of re-warmed task state (devices + their simulation
+#: workspaces), keyed by a parent-issued token.  Process-pool tasks
+#: unpickle their device once per chunk; the *first* unpickled copy per
+#: token is kept here so every later task of the same fan-out — across
+#: chunks and across map calls (optimizer iterations) — reuses the
+#: warmed calibration and factorization caches instead of starting cold.
+_WORKER_STATE: "OrderedDict[str, object]" = OrderedDict()
+#: Distinct fan-outs a single worker keeps warm at once.  Small on
+#: purpose: each entry can pin full-grid calibration fields.
+_WORKER_STATE_MAX = 4
+
+_TOKEN_COUNTER = itertools.count()
+
+
+def stable_worker_token(obj, suffix: str = "") -> str:
+    """A stable warm-pool token for ``obj``, minted on first use.
+
+    Tokens embed the parent PID and a process-wide counter, so two
+    objects can never share one within a parent's lifetime (``id()``
+    reuse after garbage collection would).  The token is stored on the
+    object and ships with its pickle, which is what lets every worker of
+    a fan-out agree on the cache key.  ``suffix`` namespaces different
+    task kinds warming the same object (e.g. design vs. evaluation).
+    """
+    token = getattr(obj, "_worker_token", None)
+    if token is None:
+        token = f"{os.getpid()}:{next(_TOKEN_COUNTER)}"
+        object.__setattr__(obj, "_worker_token", token)
+    return token + suffix
+
+
+def task_in_parent(token: str) -> bool:
+    """Whether a fan-out task is executing in the process that minted ``token``.
+
+    Pool executors short-circuit single-item maps to an inline call in
+    the calling process.  Worker-side behaviour must then be skipped:
+    the task is already using the parent's live device and workspace, so
+    seeding the warm pool would pin them in the module-global cache and
+    a stats delta would double-count work the parent's own counters
+    already recorded.  Tokens embed the minting pid
+    (:func:`stable_worker_token`), which makes the check one comparison.
+    """
+    return token.partition(":")[0] == str(os.getpid())
+
+
+def worker_warm(token: str, value: T) -> T:
+    """Return the per-process warm instance for ``token``.
+
+    The first call in a worker process seeds the cache with ``value``
+    (typically the task state just unpickled); later calls return the
+    cached instance and drop the fresh copy.  Bounded LRU — ancient
+    fan-outs age out rather than pinning workspaces forever.
+    """
+    cached = _WORKER_STATE.get(token)
+    if cached is not None:
+        _WORKER_STATE.move_to_end(token)
+        return cached
+    _WORKER_STATE[token] = value
+    while len(_WORKER_STATE) > _WORKER_STATE_MAX:
+        _WORKER_STATE.popitem(last=False)
+    return value
+
+
+def run_warm_task(
+    token: str,
+    fresh_value: T,
+    task: Callable[[T], R],
+    workspace_of: Callable[[T], "object | None"],
+    inline_task: Callable[[T], R] | None = None,
+) -> tuple[R, dict, int]:
+    """Execute one fan-out task under the worker warm-pool protocol.
+
+    The single home of the invariant both the taped corner fan-out and
+    the Monte-Carlo fan-out rely on, so it cannot drift between them:
+
+    * **Inline in the parent** (pools short-circuit single-item maps):
+      run on ``fresh_value`` directly — the parent's live state is
+      already doing and counting the work, so no warm-pool seeding and
+      an *empty* stats delta (a non-empty one would double-count).
+      ``inline_task`` overrides ``task`` for callers whose worker task
+      has worker-only side effects (e.g. epoch resets).
+    * **In a forked worker**: park ``fresh_value`` in the warm pool
+      (first task per token wins; later unpickled copies are dropped),
+      bracket the warmed value's workspace solver stats around the task,
+      and return the delta for the parent to merge.
+
+    Returns ``(result, stats delta, pid)`` — the pid is fan-out
+    evidence (parents count only pids that differ from their own).
+    """
+    if task_in_parent(token):
+        return (inline_task or task)(fresh_value), {}, os.getpid()
+    value = worker_warm(token, fresh_value)
+    workspace = workspace_of(value)
+    before = (
+        workspace.solver_stats.as_dict() if workspace is not None else None
+    )
+    result = task(value)
+    delta = (
+        workspace.solver_stats.delta_since(before)
+        if workspace is not None
+        else {}
+    )
+    return result, delta, os.getpid()
 
 
 class CornerExecutor:
@@ -122,7 +243,13 @@ class ThreadExecutor(_PoolExecutor):
 
 
 class ProcessExecutor(_PoolExecutor):
-    """Process-pool fan-out for picklable, tape-free tasks."""
+    """Process-pool fan-out for picklable task payloads.
+
+    Taped corner losses cannot ship whole (tapes and LU objects do not
+    pickle); they cross this executor through the forward-replay seam —
+    see the module docstring and
+    :meth:`repro.core.engine.Boson1Optimizer.loss`.
+    """
 
     name = "process"
     supports_shared_memory = False

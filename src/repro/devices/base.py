@@ -17,6 +17,9 @@ objective (Eq. 2 terms).
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -31,7 +34,63 @@ from repro.fdfd.workspace import SimulationWorkspace, shared_workspace
 from repro.params.initializers import PathSegment
 from repro.utils.constants import EPS_SI, EPS_VOID, omega_from_wavelength
 
-__all__ = ["PhotonicDevice"]
+__all__ = [
+    "PhotonicDevice",
+    "DirectionSolveSummary",
+    "ForwardSolveSummary",
+]
+
+
+def _pattern_digest(arr: np.ndarray) -> bytes:
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(arr).view(np.uint8).data)
+    return digest.digest()
+
+
+@dataclass
+class DirectionSolveSummary:
+    """Pickle-clean by-products of one direction's forward FDFD solve.
+
+    Produced in a worker process by
+    :meth:`PhotonicDevice.solve_forward_summary` and consumed in the
+    parent by :meth:`PhotonicDevice.port_powers_precomputed`: everything
+    the taped adjoint needs without re-running (or shipping) the solve.
+
+    The adjoint seam works because the adjoint right-hand side of a
+    port-power objective always lies in the span of the per-port monitor
+    functionals ``w_j`` (see :meth:`PortPowerProblem.adjoint_source`):
+    ``v = sum_j g_j * coeff_j * w_j`` with ``coeff_j = gamma_j
+    conj(c_j) / P_in`` known at forward time.  The worker therefore
+    solves the *adjoint basis* ``y_j = A^{-T} w_j`` — cheap triangular
+    sweeps against the forward factorization, batched where the backend
+    allows — and the parent's VJP is pure linear algebra:
+    ``lam = sum_j g_j coeff_j y_j``.
+    """
+
+    direction: str
+    #: Normalized port powers in :meth:`PhotonicDevice.port_names` order.
+    powers: np.ndarray
+    #: Per-port complex adjoint coefficients ``gamma_j conj(c_j) / P_in``.
+    adjoint_coeffs: np.ndarray = field(repr=False)
+    #: Flattened complex forward field ``ez``.
+    ez: np.ndarray = field(repr=False)
+    #: ``(n_cells, n_ports)`` adjoint-basis columns ``A^{-T} w_j``.
+    adjoint_basis: np.ndarray = field(repr=False)
+
+
+@dataclass
+class ForwardSolveSummary:
+    """One corner's forward-solve summary: all directions + provenance.
+
+    ``rho_digest`` fingerprints the scaled design occupancy the worker
+    solved, so :meth:`PhotonicDevice.port_powers_precomputed` can refuse
+    a summary that does not belong to the tensor it is being attached to
+    (a silent mismatch would produce plausible-looking wrong gradients).
+    """
+
+    directions: list[DirectionSolveSummary]
+    alpha_bg: float
+    rho_digest: bytes = field(repr=False)
 
 
 class PhotonicDevice:
@@ -71,6 +130,12 @@ class PhotonicDevice:
     #: Memoized per-wavelength clones kept per device (LRU; each holds
     #: full-grid calibration fields, so the bound matters).
     _MAX_WAVELENGTH_CLONES: int = 32
+    #: Calibration runs kept per device (LRU).  Each entry pins a
+    #: full-grid incident field, and evaluation workloads mint one
+    #: (direction, alpha) key per Monte-Carlo temperature draw — without
+    #: a bound a long-lived device (e.g. one parked in a worker's warm
+    #: pool) would accumulate them without limit.
+    _MAX_CALIBRATIONS: int = 32
 
     def __init__(
         self,
@@ -93,6 +158,12 @@ class PhotonicDevice:
         )
         self._background = None
         self._calibration_cache: dict[tuple[str, float], tuple] = {}
+        #: Guards the calibration cache's LRU bookkeeping only — the
+        #: thread executor's corner tasks hit the same (direction,
+        #: alpha) key concurrently, and the recency touch / eviction
+        #: are mutations.  Solves happen outside the lock (a cold race
+        #: duplicates work benignly; entries are content-addressed).
+        self._calibration_lock = threading.Lock()
         self._wavelength_clones: dict[float, "PhotonicDevice"] = {}
         self.configure_simulation_cache(simulation_cache, workspace)
 
@@ -125,15 +196,30 @@ class PhotonicDevice:
             self.workspace = workspace or shared_workspace()
         else:
             self.workspace = None
-        self._calibration_cache.clear()
+        with self._calibration_lock:
+            self._calibration_cache.clear()
         self._wavelength_clones.clear()
+        # A reconfigured device is a different worker payload: drop the
+        # warm-pool token (if one was minted) so process-pool workers
+        # re-seed from the fresh pickle instead of serving the cached
+        # copy with the old workspace/backend.
+        self.__dict__.pop("_worker_token", None)
 
-    # Wavelength clones hold their own caches and are cheap to re-warm;
-    # dropping them keeps pickled devices (process-pool workers) lean.
+    # Wavelength clones and calibration runs hold full-grid fields and
+    # are cheap for workers to re-solve (content-addressed, bit-stable);
+    # dropping them keeps pickled devices (process-pool workers, which
+    # re-pickle the device once per chunk) lean.  The calibration lock
+    # is not picklable and is re-created on unpickle.
     def __getstate__(self):
         state = dict(self.__dict__)
         state["_wavelength_clones"] = {}
+        state["_calibration_cache"] = {}
+        state.pop("_calibration_lock", None)
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._calibration_lock = threading.Lock()
 
     def at_wavelength(self, wavelength_um: float) -> "PhotonicDevice":
         """A memoized clone of this device at another wavelength.
@@ -156,7 +242,14 @@ class PhotonicDevice:
             clone.wavelength_um = float(wavelength_um)
             clone.omega = omega_from_wavelength(wavelength_um)
             clone._calibration_cache = {}
+            clone._calibration_lock = threading.Lock()
             clone._wavelength_clones = {}
+            # The clone is a different worker payload than its base
+            # device (different omega): it must mint its own warm-pool
+            # token rather than inherit the base's via __dict__.update,
+            # or a reused process pool would serve the base device from
+            # the warm cache for every clone solve.
+            clone.__dict__.pop("_worker_token", None)
             self._wavelength_clones[key] = clone
             # Bounded LRU: each clone pins full-grid calibration fields,
             # so a long-lived device sweeping many wavelengths must not
@@ -290,6 +383,62 @@ class PhotonicDevice:
         eps_env = self.eps_from_occupancy(self.cached_background() * alpha_bg)
         return problem.prepare(eps_env)
 
+    def _calibration_entry(self, direction: str, alpha_bg: float) -> tuple:
+        """The cached ``((problem, p_in, incident), infra)`` for one key.
+
+        Thread-safe: the LRU bookkeeping (recency touch, insertion,
+        eviction) happens under :attr:`_calibration_lock`, while the
+        calibration solve itself runs outside it — concurrent cold
+        misses on one key duplicate the solve benignly (entries are
+        content-addressed; last writer wins with identical bits), which
+        matches the pre-LRU behaviour of the threaded corner fan-out.
+        Returning the whole entry also spares callers a second cache
+        read that a concurrent eviction could invalidate.
+        """
+        key = (direction, round(float(alpha_bg), 9))
+        with self._calibration_lock:
+            entry = self._calibration_cache.get(key)
+            if entry is not None:
+                # Refresh recency (plain dicts preserve insertion order).
+                self._calibration_cache.pop(key)
+                self._calibration_cache[key] = entry
+                return entry
+        problem = self._problem(direction)
+        calib_occ = np.asarray(
+            self.calibration_occupancy(direction), dtype=np.float64
+        )
+        eps_calib = self.eps_from_occupancy(calib_occ * alpha_bg)
+        calib_port = self.calibration_monitor(direction)
+        calib_problem = PortPowerProblem(
+            self.grid,
+            self.omega,
+            [calib_port],
+            self.source_port(direction),
+            workspace=self.workspace,
+        )
+        sol = calib_problem.solve(eps_calib)
+        p_in = sol.raw_powers[calib_port.name]
+        if p_in <= 0:
+            raise RuntimeError(
+                f"calibration run for {self.name}/{direction} launched "
+                "no power — check the port geometry"
+            )
+        incident = sol.fields.ez
+        infra = (
+            self._port_infrastructure(problem, direction, alpha_bg)
+            if self.simulation_cache
+            else None
+        )
+        entry = ((problem, p_in, incident), infra)
+        with self._calibration_lock:
+            self._calibration_cache[key] = entry
+            # Bounded LRU: each entry pins a full-grid incident field.
+            while len(self._calibration_cache) > self._MAX_CALIBRATIONS:
+                self._calibration_cache.pop(
+                    next(iter(self._calibration_cache))
+                )
+        return entry
+
     def calibration(
         self, direction: str, alpha_bg: float = 1.0
     ) -> tuple[PortPowerProblem, float, np.ndarray]:
@@ -299,43 +448,14 @@ class PhotonicDevice:
         background (cached per rounded value, since temperature corners
         shift the launched power slightly).
         """
-        key = (direction, round(float(alpha_bg), 9))
-        if key not in self._calibration_cache:
-            problem = self._problem(direction)
-            calib_occ = np.asarray(
-                self.calibration_occupancy(direction), dtype=np.float64
-            )
-            eps_calib = self.eps_from_occupancy(calib_occ * alpha_bg)
-            calib_port = self.calibration_monitor(direction)
-            calib_problem = PortPowerProblem(
-                self.grid,
-                self.omega,
-                [calib_port],
-                self.source_port(direction),
-                workspace=self.workspace,
-            )
-            sol = calib_problem.solve(eps_calib)
-            p_in = sol.raw_powers[calib_port.name]
-            if p_in <= 0:
-                raise RuntimeError(
-                    f"calibration run for {self.name}/{direction} launched "
-                    "no power — check the port geometry"
-                )
-            incident = sol.fields.ez
-            infra = (
-                self._port_infrastructure(problem, direction, alpha_bg)
-                if self.simulation_cache
-                else None
-            )
-            self._calibration_cache[key] = ((problem, p_in, incident), infra)
-        return self._calibration_cache[key][0]
+        return self._calibration_entry(direction, alpha_bg)[0]
 
     def _calibration_with_infra(
         self, direction: str, alpha_bg: float
     ) -> tuple[PortPowerProblem, float, np.ndarray, PortInfrastructure | None]:
-        self.calibration(direction, alpha_bg)  # populate the cache entry
-        key = (direction, round(float(alpha_bg), 9))
-        (problem, p_in, incident), infra = self._calibration_cache[key]
+        (problem, p_in, incident), infra = self._calibration_entry(
+            direction, alpha_bg
+        )
         return problem, p_in, incident, infra
 
     # ------------------------------------------------------------------ #
@@ -759,6 +879,163 @@ class PhotonicDevice:
         arrays = [np.asarray(p, dtype=np.float64) for p in patterns]
         vector = op(*arrays).data
         return self._split_corner_powers(vector, len(arrays), float)
+
+    # ------------------------------------------------------------------ #
+    # Forward-replay seam (process-pool corner fan-out)                  #
+    # ------------------------------------------------------------------ #
+    def solve_forward_summary(
+        self, rho_scaled: np.ndarray, alpha_bg: float = 1.0
+    ) -> ForwardSolveSummary:
+        """Forward solves only, packaged as a pickle-clean summary.
+
+        The worker half of the process-pool corner fan-out: run in a
+        forked worker on a plain numpy ``rho_scaled`` (the fabrication
+        chain's output — the chain itself stays taped in the parent),
+        it performs each direction's forward FDFD solve plus the
+        per-port adjoint-basis sweeps ``y_j = A^{-T} w_j`` against the
+        same factorization, and returns arrays and scalars only — no
+        tape, no LU objects, no workspace.  Feed the result to
+        :meth:`port_powers_precomputed` in the parent to rebuild the
+        differentiable port powers without re-solving anything.
+        """
+        rho = np.asarray(rho_scaled, dtype=np.float64)
+        if rho.shape != self.design_shape:
+            raise ValueError(
+                f"design shape {rho.shape} != {self.design_shape}"
+            )
+        summaries: list[DirectionSolveSummary] = []
+        for direction in self.directions:
+            problem, p_in, incident, infra = self._calibration_with_infra(
+                direction, alpha_bg
+            )
+            occ = self.cached_background() * alpha_bg
+            occ[self.design_slice] = rho
+            eps = self.eps_from_occupancy(occ)
+            sol = problem.solve(eps, incident_ez=incident, infra=infra)
+            names = self.port_names(direction)
+            powers = np.array(
+                [sol.raw_powers[n] / p_in for n in names], dtype=np.float64
+            )
+            weights = np.stack(
+                [
+                    np.asarray(
+                        sol.monitors[n].weight_vector(), dtype=np.complex128
+                    )
+                    for n in names
+                ],
+                axis=1,
+            )
+            basis = sol.solver.solve_many(weights, trans="T")
+            coeffs = np.array(
+                [
+                    sol.monitors[n].power_factor
+                    * np.conj(sol.amplitudes[n])
+                    / p_in
+                    for n in names
+                ],
+                dtype=np.complex128,
+            )
+            summaries.append(
+                DirectionSolveSummary(
+                    direction=direction,
+                    powers=powers,
+                    adjoint_coeffs=coeffs,
+                    ez=sol.fields.ez.ravel().copy(),
+                    adjoint_basis=np.ascontiguousarray(basis),
+                )
+            )
+        return ForwardSolveSummary(
+            directions=summaries,
+            alpha_bg=float(alpha_bg),
+            rho_digest=_pattern_digest(rho),
+        )
+
+    def port_powers_precomputed(
+        self,
+        rho_scaled,
+        summary: ForwardSolveSummary,
+        alpha_bg: float | None = None,
+    ) -> dict[str, dict[str, Tensor]]:
+        """Differentiable port powers from precomputed fields (no solve).
+
+        The parent half of the process-pool corner fan-out, and the
+        custom-op seam the tentpole is built on: the forward pass simply
+        returns the worker-computed powers, while the VJP assembles the
+        adjoint field from the summary's basis columns —
+        ``lam = sum_j g_j coeff_j y_j`` per direction, then the standard
+        ``-2 omega^2 Re(lam * ez)`` permittivity gradient — so the taped
+        backward pass runs entirely in the parent with zero FDFD solves.
+        Gradients match the in-process path to solver precision (the
+        adjoint is recombined from per-port solves instead of one
+        aggregated solve).
+
+        ``rho_scaled`` must be the exact tensor whose ``.data`` the
+        worker solved; a digest mismatch raises.  Pass ``alpha_bg`` to
+        additionally pin the background temperature scale the summary
+        was solved at — the same design array solved at a different
+        corner temperature is a different system, and the digest alone
+        cannot tell them apart.
+        """
+        if alpha_bg is not None and float(alpha_bg) != summary.alpha_bg:
+            raise ValueError(
+                f"precomputed solve summary was produced at "
+                f"alpha_bg={summary.alpha_bg!r}, not the expected "
+                f"{float(alpha_bg)!r}"
+            )
+        rho_scaled = as_tensor(rho_scaled)
+        if tuple(rho_scaled.shape) != self.design_shape:
+            raise ValueError(
+                f"design shape {rho_scaled.shape} != {self.design_shape}"
+            )
+        if [s.direction for s in summary.directions] != list(self.directions):
+            raise ValueError(
+                f"summary directions "
+                f"{[s.direction for s in summary.directions]} != device "
+                f"directions {list(self.directions)}"
+            )
+        expected = [len(self.port_names(d)) for d in self.directions]
+        for s, n_ports in zip(summary.directions, expected):
+            if s.powers.size != n_ports or s.adjoint_basis.shape[1] != n_ports:
+                raise ValueError(
+                    f"summary for direction {s.direction!r} carries "
+                    f"{s.powers.size} powers / "
+                    f"{s.adjoint_basis.shape[1]} basis columns for "
+                    f"{n_ports} ports"
+                )
+        dslice = self.design_slice
+        contrast = self.eps_solid - EPS_VOID
+        omega = self.omega
+        grid_shape = self.grid.shape
+        digest = summary.rho_digest
+        directions = summary.directions
+
+        def forward(occ_design):
+            if _pattern_digest(occ_design) != digest:
+                raise ValueError(
+                    "precomputed solve summary does not match this design "
+                    "occupancy — it was produced for a different pattern"
+                )
+            return np.concatenate([s.powers for s in directions]), None
+
+        def vjp(g, out, residuals, occ_design):
+            grad = np.zeros(grid_shape, dtype=np.float64)
+            offset = 0
+            for s in directions:
+                k = s.powers.size
+                lam = s.adjoint_basis @ (
+                    np.asarray(g[offset : offset + k], dtype=np.float64)
+                    * s.adjoint_coeffs
+                )
+                grad += (-2.0 * omega**2 * np.real(lam * s.ez)).reshape(
+                    grid_shape
+                )
+                offset += k
+            return (grad[dslice] * contrast,)
+
+        op = custom_vjp_with_residuals(
+            forward, vjp, name=f"{self.name}:precomputed:powers"
+        )
+        return self._split_by_direction(op(rho_scaled), lambda entry: entry)
 
     def port_powers_array(
         self, rho_scaled: np.ndarray, direction: str, alpha_bg: float = 1.0

@@ -12,6 +12,8 @@ from repro.core.executors import (
     SerialExecutor,
     make_executor,
     map_ordered_with_serial_head,
+    run_warm_task,
+    stable_worker_token,
 )
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
@@ -20,9 +22,17 @@ from repro.fab.process import FabricationProcess
 from repro.fab.temperature import alpha_of_temperature
 from repro.utils.seeding import rng_from_seed
 
-__all__ = ["RobustnessReport", "evaluate_post_fab", "evaluate_ideal"]
+__all__ = [
+    "RobustnessReport",
+    "evaluate_post_fab",
+    "evaluate_ideal",
+    "DEFAULT_BLOCK_CHUNK",
+]
 
-#: Samples per blocked solve in :func:`evaluate_post_fab`.  Monte-Carlo
+#: Default samples per blocked solve in :func:`evaluate_post_fab`
+#: (overridable via its ``block_chunk`` parameter and the CLI
+#: ``evaluate --block-chunk`` flag, which uses this constant as its
+#: default).  Monte-Carlo
 #: draws are *diverse* (independent litho corners, temperatures, EOLE
 #: fields), so on a cold workspace most of a large block would burn its
 #: iteration budget against the single first-sample anchor and fall
@@ -30,7 +40,7 @@ __all__ = ["RobustnessReport", "evaluate_post_fab", "evaluate_ideal"]
 #: the workspace for the next one — measured on the bending device, 8
 #: cold samples: one 8-block pays 8 fallbacks, chunks of 2 pay 2 — while
 #: warm evaluations lose almost nothing to the smaller block width.
-_MC_BLOCK_CHUNK = 2
+DEFAULT_BLOCK_CHUNK = 2
 
 
 @dataclass
@@ -115,6 +125,32 @@ def _evaluate_sample(
     return device.fom(powers), powers
 
 
+def _evaluate_sample_task(
+    token: str,
+    device: PhotonicDevice,
+    process: FabricationProcess,
+    pattern: np.ndarray,
+    corner: VariationCorner,
+):
+    """Process-pool variant of :func:`_evaluate_sample`.
+
+    The same seam the taped corner fan-out uses
+    (:func:`repro.core.executors.run_warm_task` holds the shared
+    warm-pool / stats-delta / inline-parent protocol): the device is
+    parked in the worker's warm pool so its workspace and calibration
+    caches survive across chunks and repeated evaluations, and the task
+    returns its solver-stats delta (merged into the parent workspace by
+    :func:`evaluate_post_fab`) plus the worker pid as fan-out evidence.
+    """
+    (fom, powers), delta, pid = run_warm_task(
+        token,
+        device,
+        lambda dev: _evaluate_sample(dev, process, pattern, corner),
+        lambda dev: dev.workspace,
+    )
+    return fom, powers, delta, pid
+
+
 def evaluate_post_fab(
     device: PhotonicDevice,
     process: FabricationProcess,
@@ -123,6 +159,7 @@ def evaluate_post_fab(
     seed: int = 1234,
     t_delta: float = 30.0,
     executor: CornerExecutor | str | None = None,
+    block_chunk: int = DEFAULT_BLOCK_CHUNK,
 ) -> RobustnessReport:
     """Expected post-fabrication performance of a design pattern.
 
@@ -155,9 +192,21 @@ def evaluate_post_fab(
         sample anchors the block deterministically, and samples that
         don't converge against it fall back to their own direct
         factorizations.
+    block_chunk:
+        Samples per blocked solve on the ``krylov-block`` path (must be
+        >= 1; default 2).  Small chunks let fallback factorizations
+        re-anchor the workspace between chunks on cold, diverse sample
+        sets; large chunks maximize sweep amortization on warm ones.
+        Converged results are chunking-independent — when no sample
+        falls back mid-run the report is bitwise identical for every
+        chunk size (asserted by the test suite), and fallback anchoring
+        differences stay within the solver tolerance.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
+    block_chunk = int(block_chunk)
+    if block_chunk < 1:
+        raise ValueError(f"block_chunk must be >= 1, got {block_chunk}")
     pattern = np.asarray(pattern, dtype=np.float64)
     rng = rng_from_seed(seed)
     corners = [
@@ -166,8 +215,9 @@ def evaluate_post_fab(
     ]
 
     pool = make_executor(executor)
-    # functools.partial of a module-level function pickles, so the same
-    # task object serves the thread and process backends.
+    # In-process (serial/thread) task; the process backend routes
+    # through _evaluate_sample_task below for worker warm-pooling and
+    # stats merging.
     task = functools.partial(_evaluate_sample, device, process, pattern)
     workspace = device.workspace
     try:
@@ -184,8 +234,8 @@ def evaluate_post_fab(
         ):
             fabbed = [process.apply_array(pattern, c) for c in corners]
             powers_list: list | None = []
-            for start in range(0, n_samples, _MC_BLOCK_CHUNK):
-                stop = start + _MC_BLOCK_CHUNK
+            for start in range(0, n_samples, block_chunk):
+                stop = start + block_chunk
                 chunk = device.port_powers_array_corners(
                     fabbed[start:stop], alphas[start:stop]
                 )
@@ -195,6 +245,23 @@ def evaluate_post_fab(
                 powers_list.extend(chunk)
             if powers_list is not None:
                 results = [(device.fom(p), p) for p in powers_list]
+        if results is None and not pool.supports_shared_memory:
+            # Process fan-out: same warm-pool seam as the engine's taped
+            # corner fan-out — workers keep their re-warmed device across
+            # chunks and repeated evaluations, and their solve statistics
+            # merge back into the parent workspace.
+            task_p = functools.partial(
+                _evaluate_sample_task,
+                stable_worker_token(device, ":eval"),
+                device,
+                process,
+                pattern,
+            )
+            results = []
+            for fom, powers, delta, _pid in pool.map_ordered(task_p, corners):
+                if workspace is not None:
+                    workspace.merge_solver_stats(delta)
+                results.append((fom, powers))
         if results is None:
             results = map_ordered_with_serial_head(
                 pool,

@@ -183,6 +183,37 @@ class SolveStats:
         with self._lock:
             return {name: getattr(self, name) for name in self._FIELDS}
 
+    def delta_since(self, baseline: "dict[str, int]") -> dict[str, int]:
+        """Counter increments since a previous :meth:`as_dict` snapshot.
+
+        Zero entries are dropped, so the result is a compact payload for
+        shipping a worker process's solve work back to the parent (see
+        :meth:`merge`).
+        """
+        now = self.as_dict()
+        return {
+            name: now[name] - baseline.get(name, 0)
+            for name in now
+            if now[name] != baseline.get(name, 0)
+        }
+
+    def merge(self, counts: "dict[str, int]") -> None:
+        """Fold a worker's counter delta into these stats.
+
+        The process fan-out's reduction step: each worker snapshots its
+        own workspace stats around a task (:meth:`delta_since`) and the
+        parent merges the deltas here, so ``stats()`` reports the whole
+        fleet's factorizations / sweeps / fallbacks.  Unknown counter
+        names are an error — a silent drop would under-report work.
+        """
+        unknown = set(counts) - set(self._FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown solve-stat counters {sorted(unknown)}; "
+                f"have {list(self._FIELDS)}"
+            )
+        self.add(**counts)
+
     def reset(self) -> None:
         with self._lock:
             for name in self._FIELDS:

@@ -572,6 +572,19 @@ class SimulationWorkspace:
             solver_config=solver_config,
         )
 
+    def merge_solver_stats(self, counts: dict) -> None:
+        """Fold a worker process's solver-stats delta into this workspace.
+
+        The parent half of the process fan-out's stats contract: workers
+        snapshot their own (re-warmed, per-worker) workspace around each
+        task and ship ``SolveStats.delta_since`` dicts home with the
+        results; merging them here makes :meth:`stats` report the whole
+        fleet's factorizations, sweeps and fallbacks.  Empty deltas are
+        a no-op.
+        """
+        if counts:
+            self.solver_stats.merge(counts)
+
     def begin_solver_epoch(self) -> None:
         """Drop preconditioner anchors (start of an optimizer iteration).
 

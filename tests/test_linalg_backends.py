@@ -278,6 +278,14 @@ def isolator_pattern():
     )
 
 
+@pytest.fixture(scope="module")
+def crossing_pattern():
+    device = make_device("crossing")
+    return rasterize_segments(
+        device.design_shape, device.dl, device.init_segments()
+    )
+
+
 def device_with_backend(name, backend):
     device = make_device(name)
     device.configure_simulation_cache(
@@ -333,6 +341,24 @@ class TestGradientConsistency:
             plus = bend_pattern.copy()
             plus[ix, iy] += d
             minus = bend_pattern.copy()
+            minus[ix, iy] -= d
+            fd = (
+                scalar_objective(device, plus) - scalar_objective(device, minus)
+            ) / (2 * d)
+            assert grad[ix, iy] == pytest.approx(fd, rel=2e-2, abs=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crossing_fd(self, crossing_pattern, backend):
+        # Four monitors (through, reflection, two crosstalk arms) on a
+        # single direction: the widest port set of the benchmark trio.
+        device = device_with_backend("crossing", FD_BACKENDS[backend])
+        grad = adjoint_grad(device, crossing_pattern)
+        cells = [(10, 16), (16, 16), (24, 8)]
+        d = 1e-5
+        for ix, iy in cells:
+            plus = crossing_pattern.copy()
+            plus[ix, iy] += d
+            minus = crossing_pattern.copy()
             minus[ix, iy] -= d
             fd = (
                 scalar_objective(device, plus) - scalar_objective(device, minus)

@@ -1,34 +1,50 @@
 """Executor backends, deterministic fan-out, and cached-trajectory identity.
 
-Two contracts under test:
+Three contracts under test:
 
-1. **Backend independence** — serial / thread / process executors give
+1. **Backend independence** — serial / thread executors give
    bit-identical results for the engine loss, full optimization
-   trajectories and Monte-Carlo evaluation, for any worker count.
+   trajectories and Monte-Carlo evaluation, for any worker count; the
+   process executor (which replays only forward solves in workers and
+   reassembles the taped VJPs in the parent) matches to solver
+   precision, for every registered solver backend.
 2. **Cache independence** — a full ``Boson1Optimizer`` run with the
    simulation cache on matches the cold rebuild-everything path
    bit-for-bit (same seed => identical ``fom_trace``), for both
    parameterizations and across temperature (``alpha_bg``) corners.
+3. **Stats exactness** — ``SolveStats`` counters stay exact under
+   simultaneous solves from a thread pool, and worker-side deltas merge
+   exactly across a process fan-out.
 """
 
+import functools
+import os
+import pickle
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
+from repro.autodiff import Tensor
 from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.core.engine import _corner_forward_task
 from repro.core.executors import (
     EXECUTOR_BACKENDS,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    stable_worker_token,
+    worker_warm,
 )
 from repro.devices import make_device
 from repro.eval import evaluate_post_fab
 from repro.fab.process import FabricationProcess
-from repro.fdfd import SimulationWorkspace
+from repro.fdfd import HelmholtzSolver, SimGrid, SimulationWorkspace
+from repro.fdfd.linalg import SolveStats, SolverConfig
 from repro.params import rasterize_segments
+from repro.utils.constants import omega_from_wavelength
 
 
 def _square(x):
@@ -102,9 +118,15 @@ class TestConfigValidation:
         OptimizerConfig(corner_executor="serial")
         OptimizerConfig(corner_executor="thread:2")
 
-    def test_engine_rejects_process(self):
+    def test_engine_accepts_process(self):
+        # The forward-replay fan-out made the process backend legal for
+        # taped corner losses.
+        OptimizerConfig(corner_executor="process")
+        OptimizerConfig(corner_executor="process:2")
+
+    def test_engine_rejects_unknown_backend(self):
         with pytest.raises(ValueError):
-            OptimizerConfig(corner_executor="process")
+            OptimizerConfig(corner_executor="mpi")
 
     def test_rejects_bad_workers(self):
         with pytest.raises(ValueError):
@@ -248,3 +270,532 @@ class TestMonteCarloExecutors:
         )
         assert report.worst_fom == 0.5
         assert report.best_fom == 0.1
+
+
+# --------------------------------------------------------------------- #
+# Process-pool taped corner fan-out (forward replay + VJP assembly)     #
+# --------------------------------------------------------------------- #
+ALL_BACKENDS = ("direct", "batched", "krylov", "krylov-block")
+#: Tolerance of process-vs-serial comparisons per backend: LU-backed
+#: backends differ only in adjoint recombination (per-port basis solves
+#: instead of one aggregated solve — machine-epsilon territory);
+#: preconditioned backends additionally anchor per worker chunk.
+PROCESS_TOL = {
+    "direct": dict(rtol=1e-9, atol=1e-12),
+    "batched": dict(rtol=1e-9, atol=1e-12),
+    "krylov": dict(rtol=1e-5, atol=1e-7),
+    "krylov-block": dict(rtol=1e-5, atol=1e-7),
+}
+
+
+def _loss_and_grad(device_name, executor, backend="direct"):
+    """One taped loss + backward; returns (loss, grad, worker pids)."""
+    device = make_device(device_name)
+    opt = Boson1Optimizer(
+        device,
+        OptimizerConfig(
+            iterations=1, seed=11, corner_executor=executor, solver=backend
+        ),
+    )
+    theta = Tensor(np.array(opt.theta, dtype=np.float64), requires_grad=True)
+    loss, _powers, n_corners = opt.loss(theta, 0)
+    loss.backward()
+    opt.close()
+    assert n_corners > 0
+    return loss.item(), theta.grad.copy(), set(opt.observed_worker_pids)
+
+
+def _trace(device_name, executor, backend, iterations=2):
+    device = make_device(device_name)
+    opt = Boson1Optimizer(
+        device,
+        OptimizerConfig(
+            iterations=iterations,
+            seed=11,
+            corner_executor=executor,
+            solver=backend,
+        ),
+    )
+    result = opt.run()
+    opt.close()
+    return result
+
+
+class TestProcessTapedFanout:
+    @pytest.mark.parametrize("device_name", ["bending", "crossing", "isolator"])
+    def test_loss_and_grad_match_serial(self, device_name):
+        l_serial, g_serial, no_pids = _loss_and_grad(device_name, "serial")
+        assert not no_pids  # in-process executors report no worker pids
+        l_proc, g_proc, pids = _loss_and_grad(device_name, "process:2")
+        assert l_proc == pytest.approx(l_serial, rel=1e-10, abs=1e-12)
+        scale = max(float(np.linalg.norm(g_serial)), 1e-30)
+        assert float(np.linalg.norm(g_proc - g_serial)) <= 1e-9 * scale
+        # Forked workers actually carried the solves.
+        assert len(pids) >= 2
+        assert os.getpid() not in pids
+
+    def test_task_payloads_pickle_clean(self):
+        """The exact objects the engine ships must survive pickling."""
+        device = make_device("bending")
+        opt = Boson1Optimizer(
+            device,
+            OptimizerConfig(iterations=1, seed=3, corner_executor="process:2"),
+        )
+        rho = opt.decode(Tensor(np.array(opt.theta), requires_grad=True))
+        corners = opt.sampler.corners(0, opt.rng, None)
+        from repro.fab.temperature import alpha_of_temperature
+
+        items = [
+            (
+                alpha_of_temperature(c.temperature_k),
+                np.asarray(opt.process.apply(rho, c).data, dtype=np.float64),
+            )
+            for c in corners[:2]
+        ]
+        task = functools.partial(
+            _corner_forward_task,
+            stable_worker_token(device, ":design"),
+            device,
+            1,
+        )
+        task2, items2 = pickle.loads(pickle.dumps((task, items)))
+        # The round-tripped task runs and its result pickles too.
+        summary, delta, pid = task2(items2[0])
+        assert pid == os.getpid()
+        assert isinstance(delta, dict)
+        roundtrip = pickle.loads(pickle.dumps(summary))
+        assert [s.direction for s in roundtrip.directions] == ["fwd"]
+        opt.close()
+
+    def test_precomputed_summary_rejects_wrong_pattern(self):
+        device = make_device("bending")
+        pattern = rasterize_segments(
+            device.design_shape, device.dl, device.init_segments()
+        )
+        summary = device.solve_forward_summary(pattern, 1.0)
+        other = pattern.copy()
+        other[5, 5] += 0.25
+        with pytest.raises(ValueError, match="different pattern"):
+            device.port_powers_precomputed(
+                Tensor(other, requires_grad=True), summary
+            )
+
+    def test_precomputed_summary_rejects_wrong_alpha(self):
+        # The same design array solved at a different background
+        # temperature is a different system; the digest alone cannot
+        # tell them apart, so the alpha pin must.
+        device = make_device("bending")
+        pattern = rasterize_segments(
+            device.design_shape, device.dl, device.init_segments()
+        )
+        summary = device.solve_forward_summary(pattern, 1.0)
+        with pytest.raises(ValueError, match="alpha_bg"):
+            device.port_powers_precomputed(
+                Tensor(pattern.copy(), requires_grad=True),
+                summary,
+                alpha_bg=0.995,
+            )
+
+    def test_precomputed_matches_taped_powers_and_grad(self):
+        """The seam itself: summary-injected op vs the in-process op."""
+        device = make_device("bending")
+        pattern = rasterize_segments(
+            device.design_shape, device.dl, device.init_segments()
+        )
+
+        def total_of(powers_fn, rho):
+            powers = powers_fn(rho)
+            total = None
+            for d in device.directions:
+                for p in powers[d].values():
+                    total = p if total is None else total + p
+            return total
+
+        rho_a = Tensor(pattern.copy(), requires_grad=True)
+        total_a = total_of(lambda r: device.port_powers_all(r, 1.0), rho_a)
+        total_a.backward()
+
+        summary = device.solve_forward_summary(pattern, 1.0)
+        rho_b = Tensor(pattern.copy(), requires_grad=True)
+        total_b = total_of(
+            lambda r: device.port_powers_precomputed(r, summary), rho_b
+        )
+        total_b.backward()
+
+        assert total_b.item() == pytest.approx(total_a.item(), rel=1e-12)
+        np.testing.assert_allclose(
+            rho_b.grad, rho_a.grad, rtol=1e-9, atol=1e-14
+        )
+
+    def test_worker_warm_pool_caches_and_bounds(self):
+        import types
+
+        from repro.core.executors import _WORKER_STATE_MAX
+
+        sentinel_a, sentinel_b = object(), object()
+        token = stable_worker_token(types.SimpleNamespace())
+        assert worker_warm(token + ":x", sentinel_a) is sentinel_a
+        # Second call returns the cached instance, not the fresh value.
+        assert worker_warm(token + ":x", sentinel_b) is sentinel_a
+        # LRU bound: flooding the pool with fresh tokens evicts the
+        # oldest entry, so a later call re-seeds with the new value.
+        for i in range(_WORKER_STATE_MAX):
+            worker_warm(f"{token}:flood-{i}", object())
+        assert worker_warm(token + ":x", sentinel_b) is sentinel_b
+
+    def test_reconfigured_device_mints_fresh_worker_token(self):
+        """configure_simulation_cache invalidates the warm-pool key.
+
+        A reused process pool would otherwise keep serving the cached
+        worker copy with the old workspace/backend after the caller
+        reconfigured the device.
+        """
+        device = make_device("bending")
+        before = stable_worker_token(device)
+        device.configure_simulation_cache(True, SimulationWorkspace())
+        after = stable_worker_token(device)
+        assert after != before
+
+    def test_wavelength_clone_mints_fresh_worker_token(self):
+        """at_wavelength clones must not inherit the base's token.
+
+        A reused process pool would otherwise serve the warm-cached base
+        device (wrong omega) for every clone solve.
+        """
+        device = make_device("bending")
+        base_token = stable_worker_token(device)
+        clone = device.at_wavelength(1.6)
+        assert stable_worker_token(clone) != base_token
+
+    def test_calibration_cache_thread_safe_under_hits_and_eviction(self):
+        """The LRU recency touch mutates on cache hits; hammer it.
+
+        Threads repeatedly hit one hot key while others churn fresh
+        alphas through a tiny bound, forcing concurrent touch/insert/
+        evict interleavings — any KeyError here is the race the lock
+        exists to prevent.
+        """
+        device = make_device("bending")
+        device._MAX_CALIBRATIONS = 2
+        device.calibration("fwd", 1.0)
+        errors = []
+
+        def hot(_i):
+            try:
+                for _ in range(25):
+                    device.calibration("fwd", 1.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def churn(i):
+            try:
+                for j in range(4):
+                    device.calibration("fwd", 1.0 - 1e-5 * (1 + i * 4 + j))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for i in range(3):
+                pool.submit(hot, i)
+                pool.submit(churn, i)
+        assert errors == []
+        assert len(device._calibration_cache) <= 2
+
+    def test_calibration_cache_bounded_and_dropped_from_pickle(self):
+        """Warm-pooled devices must not grow without bound.
+
+        Monte-Carlo workloads mint one (direction, alpha) calibration
+        per temperature draw; the LRU bound caps what a long-lived
+        (worker-warm) device pins, and pickles ship without the cache so
+        per-chunk payloads stay lean.
+        """
+        device = make_device("bending")
+        device._MAX_CALIBRATIONS = 3  # instance override to keep it fast
+        for i in range(5):
+            device.calibration("fwd", 1.0 - 1e-4 * i)
+        assert len(device._calibration_cache) == 3
+        # Recency refresh: touching the oldest survivor keeps it alive.
+        survivor = next(iter(device._calibration_cache))
+        device.calibration(survivor[0], survivor[1])
+        device.calibration("fwd", 0.5)
+        assert survivor in device._calibration_cache
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone._calibration_cache == {}
+
+    def test_stable_worker_token_is_sticky_and_unique(self):
+        a, b = make_device("bending"), make_device("bending")
+        assert stable_worker_token(a) == stable_worker_token(a)
+        assert stable_worker_token(a) != stable_worker_token(b)
+        assert stable_worker_token(a, ":eval") != stable_worker_token(a)
+
+
+class TestCrossExecutorDeterminism:
+    """fom_trace agreement across executors x workers x solver backends."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_thread_matches_serial(self, backend):
+        serial = _trace("bending", "serial", backend)
+        threaded = _trace("bending", "thread:2", backend)
+        if backend in ("direct", "batched"):
+            # Shared memory + LU-backed solves: bit-identical.
+            assert np.array_equal(serial.fom_trace(), threaded.fom_trace())
+            assert np.array_equal(serial.pattern, threaded.pattern)
+        else:
+            # Preconditioned backends: the serial executor takes the
+            # blocked path (krylov-block) and fallback anchors arrive in
+            # scheduling order, so agreement is to solver precision.
+            np.testing.assert_allclose(
+                threaded.fom_trace(),
+                serial.fom_trace(),
+                **PROCESS_TOL[backend],
+            )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_process_matches_serial(self, backend):
+        serial = _trace("bending", "serial", backend)
+        proc = _trace("bending", "process:2", backend)
+        np.testing.assert_allclose(
+            proc.fom_trace(), serial.fom_trace(), **PROCESS_TOL[backend]
+        )
+        np.testing.assert_allclose(
+            proc.loss_trace(), serial.loss_trace(), **PROCESS_TOL[backend]
+        )
+
+    @pytest.mark.parametrize("backend", ["direct", "krylov"])
+    def test_process_worker_count_consistent(self, backend):
+        two = _trace("bending", "process:2", backend)
+        three = _trace("bending", "process:3", backend)
+        if backend == "direct":
+            # Per-corner work is chunk-independent and deterministic.
+            assert np.array_equal(two.fom_trace(), three.fom_trace())
+        else:
+            np.testing.assert_allclose(
+                three.fom_trace(), two.fom_trace(), **PROCESS_TOL[backend]
+            )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_process_gradients_match_serial(self, backend):
+        _, g_serial, _ = _loss_and_grad("bending", "serial", backend)
+        _, g_proc, pids = _loss_and_grad("bending", "process:2", backend)
+        assert len(pids) >= 2
+        tol = 1e-9 if backend in ("direct", "batched") else 1e-4
+        scale = max(float(np.linalg.norm(g_serial)), 1e-30)
+        assert float(np.linalg.norm(g_proc - g_serial)) <= tol * scale
+
+
+class TestSolveStatsConcurrencyAndMerge:
+    def test_counters_exact_under_concurrent_add(self):
+        stats = SolveStats()
+        n_threads, n_bumps = 8, 250
+
+        def bump(_i):
+            for _ in range(n_bumps):
+                stats.add(solves=1, iterations=2)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(bump, range(n_threads)))
+        counts = stats.as_dict()
+        assert counts["solves"] == n_threads * n_bumps
+        assert counts["iterations"] == 2 * n_threads * n_bumps
+
+    def test_counters_exact_under_simultaneous_solves(self):
+        grid = SimGrid((40, 36), dl=0.05, npml=8)
+        omega = omega_from_wavelength(1.55)
+        rng = np.random.default_rng(0)
+        eps = 1.0 + 11.0 * rng.uniform(size=grid.shape)
+        ws = SimulationWorkspace()
+        solver = HelmholtzSolver(grid, eps, omega, workspace=ws)
+        before = ws.solver_stats.as_dict()
+        b = rng.standard_normal(grid.n_cells) + 0j
+        n_threads, n_solves = 6, 5
+
+        def hammer(_i):
+            for _ in range(n_solves):
+                solver.solve_raw(b)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(hammer, range(n_threads)))
+        delta = ws.solver_stats.delta_since(before)
+        assert delta["solves"] == n_threads * n_solves
+        assert delta["rhs_columns"] == n_threads * n_solves
+        assert "factorizations" not in delta  # cached LU, no refactor
+
+    def test_delta_since_and_merge_roundtrip(self):
+        stats = SolveStats()
+        stats.add(factorizations=2, solves=5)
+        base = stats.as_dict()
+        stats.add(solves=3, iterations=7)
+        delta = stats.delta_since(base)
+        assert delta == {"solves": 3, "iterations": 7}
+        other = SolveStats()
+        other.merge(delta)
+        assert other.as_dict()["solves"] == 3
+        assert other.as_dict()["iterations"] == 7
+        assert other.as_dict()["factorizations"] == 0
+
+    def test_merge_rejects_unknown_counters(self):
+        with pytest.raises(ValueError, match="unknown solve-stat"):
+            SolveStats().merge({"gpu_kernels": 1})
+
+    def test_process_eval_merges_worker_stats_exactly(self):
+        """Parent stats after a process fan-out == the serial run's.
+
+        Every Monte-Carlo sample draws its own temperature, so each
+        (direction, alpha) calibration is solved exactly once whether it
+        happens in the parent or in a worker — the merged totals must
+        therefore reproduce the serial count exactly for the direct
+        backend.
+        """
+        pattern = None
+        totals = {}
+        for executor in ("serial", "process:2"):
+            device = make_device("bending")
+            device.configure_simulation_cache(True, SimulationWorkspace())
+            process = FabricationProcess(
+                device.design_shape,
+                device.dl,
+                context=device.litho_context(12),
+                pad=12,
+            )
+            if pattern is None:
+                pattern = rasterize_segments(
+                    device.design_shape, device.dl, device.init_segments()
+                )
+            evaluate_post_fab(
+                device, process, pattern, 4, seed=2, executor=executor
+            )
+            totals[executor] = device.workspace.stats()["solver"]
+        assert totals["process:2"] == totals["serial"]
+
+    def test_single_sample_process_eval_does_not_double_count(self):
+        """n_samples=1 short-circuits to an inline call in the parent.
+
+        The task must then return an empty delta (the live parent
+        workspace already counted the work), or the merge would report
+        exactly double.
+        """
+        pattern = None
+        totals = {}
+        for executor in ("serial", "process:2"):
+            device = make_device("bending")
+            device.configure_simulation_cache(True, SimulationWorkspace())
+            process = FabricationProcess(
+                device.design_shape,
+                device.dl,
+                context=device.litho_context(12),
+                pad=12,
+            )
+            if pattern is None:
+                pattern = rasterize_segments(
+                    device.design_shape, device.dl, device.init_segments()
+                )
+            evaluate_post_fab(
+                device, process, pattern, 1, seed=2, executor=executor
+            )
+            totals[executor] = device.workspace.stats()["solver"]
+        assert totals["process:2"] == totals["serial"]
+
+    def test_single_corner_process_run_keeps_stats_exact(self):
+        """A one-corner sampler at p=1 fans out a single inline item."""
+        totals = {}
+        pids = {}
+        for executor in ("serial", "process:2"):
+            device = make_device("bending")
+            device.configure_simulation_cache(True, SimulationWorkspace())
+            opt = Boson1Optimizer(
+                device,
+                OptimizerConfig(
+                    iterations=1,
+                    seed=1,
+                    sampling="nominal",
+                    relax_epochs=0,
+                    corner_executor=executor,
+                ),
+            )
+            opt.run()
+            opt.close()
+            totals[executor] = device.workspace.stats()["solver"]
+            pids[executor] = opt.observed_worker_pids
+        # The forward-replay path legitimately solves a per-port adjoint
+        # basis instead of one aggregated adjoint (rhs_columns differ),
+        # but factorizations and solve counts must not double-count.
+        assert (
+            totals["process:2"]["factorizations"]
+            == totals["serial"]["factorizations"]
+        )
+        assert totals["process:2"]["solves"] == totals["serial"]["solves"]
+        # The inline run is not fan-out evidence: no pids recorded.
+        assert pids["process:2"] == set()
+
+    def test_engine_process_fanout_merges_worker_stats(self):
+        device = make_device("bending")
+        device.configure_simulation_cache(True, SimulationWorkspace())
+        opt = Boson1Optimizer(
+            device,
+            OptimizerConfig(
+                iterations=1, seed=1, corner_executor="process:2"
+            ),
+        )
+        opt.run()
+        opt.close()
+        stats = device.workspace.stats()["solver"]
+        # Workers factorized and solved; the parent saw all of it.
+        assert stats["factorizations"] > 0
+        assert stats["solves"] > 0
+
+
+class TestMonteCarloBlockChunk:
+    @pytest.fixture(scope="class")
+    def mc_setup(self):
+        device = make_device("bending")
+        process = FabricationProcess(
+            device.design_shape,
+            device.dl,
+            context=device.litho_context(12),
+            pad=12,
+        )
+        pattern = rasterize_segments(
+            device.design_shape, device.dl, device.init_segments()
+        )
+        return device, process, pattern
+
+    def test_chunk_size_validated(self, mc_setup):
+        device, process, pattern = mc_setup
+        with pytest.raises(ValueError, match="block_chunk"):
+            evaluate_post_fab(device, process, pattern, 2, block_chunk=0)
+        with pytest.raises(ValueError, match="block_chunk"):
+            evaluate_post_fab(device, process, pattern, 2, block_chunk=-3)
+
+    def test_chunk_size_irrelevant_for_direct_backend(self, mc_setup):
+        device, process, pattern = mc_setup
+        a = evaluate_post_fab(device, process, pattern, 3, seed=2, block_chunk=1)
+        b = evaluate_post_fab(device, process, pattern, 3, seed=2, block_chunk=5)
+        assert np.array_equal(a.foms, b.foms)
+        assert a.mean_powers == b.mean_powers
+
+    def test_chunk_size_never_changes_blocked_results_bitwise(self, mc_setup):
+        """Converged blocked evaluations are chunking-independent.
+
+        Per-column recurrences are independent of sibling columns, so as
+        long as no sample falls back mid-run (generous maxiter), every
+        chunking — including one sample per block and all samples in one
+        block — produces bit-identical reports.
+        """
+        _, process, pattern = mc_setup
+        reports = {}
+        for chunk in (1, 2, 3, 6):
+            device = make_device("bending")
+            device.configure_simulation_cache(
+                True,
+                SimulationWorkspace(
+                    solver_config=SolverConfig(
+                        backend="krylov-block", maxiter=80
+                    )
+                ),
+            )
+            reports[chunk] = evaluate_post_fab(
+                device, process, pattern, 6, seed=2, block_chunk=chunk
+            )
+        for chunk in (2, 3, 6):
+            assert np.array_equal(reports[chunk].foms, reports[1].foms)
+            assert reports[chunk].mean_powers == reports[1].mean_powers
