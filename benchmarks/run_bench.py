@@ -1,8 +1,8 @@
-"""Perf-evidence runner for the process-pool taped corner fan-out (PR 4).
+"""Perf-evidence runner for the multi-node corner fan-out (PR 5).
 
 Times the per-iteration optimizer cost of every registered solver
 backend against the seed-equivalent cold pipeline and writes
-``BENCH_PR4.json``:
+``BENCH_PR5.json``:
 
 * ``solver``     — one HelmholtzSolver construction: seed reference
   (full rebuild + COLAMD) vs. tuned cold vs. warm workspace.
@@ -25,14 +25,20 @@ backend against the seed-equivalent cold pipeline and writes
   cannot win wall-clock, so the gate asserts bounded overhead
   (*neutrality*) plus trajectory agreement and >= 2 distinct forked
   worker pids; the seam is the multi-core unlock.
+* ``remote``     — the PR 5 evidence: the same taped fan-out through
+  ``--executor remote:...`` against two loopback worker server
+  processes vs. the serial executor in the same run.  Like the process
+  section this is neutrality-gated on a 1-core box (sockets + framing
+  on top of fork cost; the seam is the multi-*machine* unlock), plus
+  trajectory agreement and >= 2 distinct remote worker pids.
 
 The backends are also cross-checked: ``batched`` must reproduce the
 direct FoM trajectory bit for bit, ``krylov`` and ``krylov-block`` to
 solver precision.  Finally the numbers are compared against
-``BENCH_PR3.json`` (if present): a slower warm-direct, scalar-krylov
+``BENCH_PR4.json`` (if present): a slower warm-direct, scalar-krylov
 or krylov-block path, a block path that loses to scalar krylov or that
-stops amortizing sweeps, or a process fan-out with runaway overhead is
-reported as a REGRESSION and the run exits non-zero.
+stops amortizing sweeps, or a process/remote fan-out with runaway
+overhead is reported as a REGRESSION and the run exits non-zero.
 
 Usage::
 
@@ -362,6 +368,92 @@ def bench_process(iterations: int, rounds: int = 2) -> tuple[dict, list[str]]:
     return report, failures
 
 
+def bench_remote(iterations: int, rounds: int = 2) -> tuple[dict, list[str]]:
+    """The taped fan-out over loopback sockets vs. the serial executor.
+
+    Two real worker server processes (forked, so warm pools and stats
+    deltas behave exactly as on remote hosts) serve both rounds; the
+    executor reconnects per run but the workers keep their warm caches,
+    which is the deployment-realistic steady state.  Alternating
+    best-of-rounds like :func:`bench_process`.
+    """
+    from repro.core.remote import start_worker_subprocess
+
+    workers = [start_worker_subprocess() for _ in range(2)]
+    spec = "remote:" + ",".join(
+        f"{host}:{port}" for _proc, (host, port) in workers
+    )
+    base = dict(iterations=iterations, seed=0, solver="direct")
+    runs: dict = {}
+    pids_per_run: list[int] = []
+    try:
+        for _ in range(rounds):
+            for executor in ("serial", spec):
+                reset_shared_workspace()
+                device = make_device("bending")
+                optimizer = Boson1Optimizer(
+                    device,
+                    OptimizerConfig(
+                        corner_executor=executor,
+                        remote_timeout=60.0,
+                        **base,
+                    ),
+                )
+                t0 = time.perf_counter()
+                result = optimizer.run()
+                elapsed = time.perf_counter() - t0
+                if executor.startswith("remote"):
+                    pids_per_run.append(len(optimizer.observed_worker_pids))
+                optimizer.close()
+                if executor not in runs or elapsed < runs[executor][0]:
+                    runs[executor] = (elapsed, result)
+    finally:
+        for proc, _address in workers:
+            proc.terminate()
+    t_serial, r_serial = runs["serial"]
+    t_remote, r_remote = runs[spec]
+    trace_diff = float(
+        np.max(np.abs(r_remote.fom_trace() - r_serial.fom_trace()))
+    )
+    report = {
+        "device": "bending",
+        "iterations": iterations,
+        "executor": "remote (2 loopback worker processes)",
+        "serial_s_per_iter": t_serial / iterations,
+        "remote_s_per_iter": t_remote / iterations,
+        "overhead_vs_serial": t_remote / t_serial,
+        "distinct_worker_pids_per_run": pids_per_run,
+        "max_fom_trace_diff_vs_serial": trace_diff,
+    }
+    failures: list[str] = []
+    if not np.allclose(
+        r_remote.fom_trace(), r_serial.fom_trace(), rtol=1e-6, atol=1e-9
+    ):
+        failures.append(
+            f"remote fan-out trajectory diverged from serial: "
+            f"max |fom diff| = {trace_diff:.3e} (tol rtol=1e-6)"
+        )
+    if max(pids_per_run, default=0) < 2:
+        failures.append(
+            f"no remote run exercised >= 2 distinct worker servers "
+            f"(per-run counts: {pids_per_run})"
+        )
+    # Neutrality gate for a 1-core box: on top of the process fan-out's
+    # fork + warm-up cost the remote path pays TCP framing and a second
+    # pickle hop, and the loopback workers share the single core with
+    # the parent — so the contract is bounded overhead, sized from
+    # measured ~1.4-1.8x plus scheduler jitter.  The seam's win is
+    # linear multi-machine speedup, which a 1-core box cannot show.
+    if t_remote > 2.5 * t_serial:
+        failures.append(
+            f"remote fan-out overhead blew past neutrality: "
+            f"{t_remote / iterations:.4f} s/iter vs. serial "
+            f"{t_serial / iterations:.4f} s/iter "
+            f"({t_remote / t_serial:.2f}x, gate 2.5x)"
+        )
+    return report, failures
+
+
 def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
     device = make_device("bending")
     process = FabricationProcess(
@@ -510,11 +602,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--iterations", type=int, default=8)
     parser.add_argument("--mc-samples", type=int, default=8)
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR4.json")
+        "--output", default=str(REPO_ROOT / "BENCH_PR5.json")
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_PR3.json"),
+        default=str(REPO_ROOT / "BENCH_PR4.json"),
         help="previous PR's benchmark JSON to regression-check against",
     )
     parser.add_argument(
@@ -551,11 +643,20 @@ def main(argv: list[str] | None = None) -> int:
             f"{round(value, 4) if isinstance(value, float) else value}"
         )
 
+    print("== remote corner fan-out (2 loopback worker servers) ==")
+    remote, remote_failures = bench_remote(args.iterations)
+    for key, value in remote.items():
+        print(
+            f"  {key}: "
+            f"{round(value, 4) if isinstance(value, float) else value}"
+        )
+
     failures = compare_with_baseline(iteration, block, Path(args.baseline))
     failures.extend(process_failures)
+    failures.extend(remote_failures)
 
     payload = {
-        "benchmark": "PR4 process-pool taped corner fan-out",
+        "benchmark": "PR5 multi-node corner fan-out over sockets",
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -566,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
         "block": block,
         "montecarlo": montecarlo,
         "process": process,
+        "remote": remote,
         "regressions": failures,
     }
     out_path = Path(args.output)

@@ -5,6 +5,7 @@ Commands
 ``design``    — run the BOSON-1 optimizer on a benchmark device.
 ``evaluate``  — Monte-Carlo post-fab evaluation of a saved design.
 ``baseline``  — run one named prior-art method end-to-end.
+``worker``    — serve this host's cores to remote corner fan-outs.
 ``info``      — print device/benchmark inventory.
 
 Every command accepts ``--help``.  Results are saved as JSON (patterns
@@ -21,6 +22,7 @@ import numpy as np
 from repro import __version__
 from repro.baselines import BASELINE_REGISTRY, run_baseline
 from repro.core import Boson1Optimizer, OptimizerConfig
+from repro.core.remote import DEFAULT_REMOTE_TIMEOUT
 from repro.core.sampling import SAMPLING_STRATEGIES
 from repro.devices import DEVICE_REGISTRY, make_device
 from repro.eval import evaluate_ideal, evaluate_post_fab
@@ -46,6 +48,11 @@ executors (corner / sample fan-out):
                payloads and reassembles gradients in the parent, so
                results match serial to solver precision.  Best when
                cores are plentiful and corner counts are large.
+  remote:ADDRS the same payloads shipped over TCP to worker hosts
+               (ADDRS = host:port[,host:port...]); see "scaling out".
+without an explicit :n, process and remote auto-tune to
+min(corner count, available workers); on a 1-core box an auto process
+spec runs inline, making `--executor process` safe everywhere.
 solvers (every FDFD solve):
   direct       one SuperLU per corner; the bitwise reference.
   batched      direct + matrix-RHS sweeps; multi-direction devices
@@ -60,6 +67,30 @@ solvers (every FDFD solve):
 rule of thumb: start with `--solver krylov-block`; add
 `--executor process:n` on multi-core machines or `--executor thread:n`
 for a shared-memory fan-out; use `--solver direct` when chasing bits.
+
+scaling out (multi-node fan-out)
+--------------------------------
+start one worker per host (any machine with this package installed):
+    repro worker --listen 0.0.0.0:7070
+then point a design or evaluation at the fleet:
+    repro design bending --executor remote:hostA:7070,hostB:7070
+protocol: length-prefixed, digest-checked frames; the handshake pins
+the protocol version and each task-state seed ships under its own
+device digest, so version skew or payload mismatch is a descriptive
+error, never a hang.  task state (device + solver epoch) is shipped
+once per epoch per worker; items are round-robined with work stealing,
+and workers keep warm solver caches across iterations.
+determinism: ordered reduction makes results independent of worker
+count and scheduling — bitwise equal to serial for LU-backed solvers
+(direct/batched), solver precision for krylov backends (each worker
+anchors its own preconditioner).
+failures: a worker that dies mid-run (connection loss, or silence
+longer than --remote-timeout; busy workers emit heartbeats) has its
+items resubmitted to survivors with an identical reduced result; a
+task that *raises* is not resubmitted — the remote traceback surfaces
+locally.  the run fails only when every worker is gone.
+security: no auth/TLS yet — workers execute pickled task state, so
+bind them to trusted networks only (e.g. over an SSH tunnel or VPN).
 """
 
 
@@ -91,10 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         default="serial",
         help=(
-            "corner fan-out backend: serial | thread[:n] | process[:n] "
-            "(process forks workers that replay only the forward solves; "
-            "the parent assembles the taped gradients, matching serial "
-            "to solver precision)"
+            "corner fan-out backend: serial | thread[:n] | process[:n] | "
+            "remote:host:port[,host:port...] (process forks workers, "
+            "remote ships to `repro worker` hosts; both replay only the "
+            "forward solves and the parent assembles the taped "
+            "gradients, matching serial to solver precision)"
+        ),
+    )
+    p_design.add_argument(
+        "--remote-timeout",
+        type=float,
+        default=DEFAULT_REMOTE_TIMEOUT,
+        metavar="SECONDS",
+        help=(
+            "remote executor only: declare a worker dead after this many "
+            "seconds of silence (busy workers heartbeat, so long solves "
+            "survive short timeouts) and resubmit its work to survivors "
+            "(default %(default)s)"
         ),
     )
     p_design.add_argument(
@@ -126,7 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument(
         "--executor",
         default="serial",
-        help="sample fan-out backend: serial | thread[:n] | process[:n]",
+        help=(
+            "sample fan-out backend: serial | thread[:n] | process[:n] | "
+            "remote:host:port[,host:port...]"
+        ),
+    )
+    p_eval.add_argument(
+        "--remote-timeout",
+        type=float,
+        default=DEFAULT_REMOTE_TIMEOUT,
+        metavar="SECONDS",
+        help=(
+            "remote executor only: dead-worker detection bound in "
+            "seconds (default %(default)s)"
+        ),
     )
     p_eval.add_argument(
         "--solver",
@@ -151,6 +208,27 @@ def build_parser() -> argparse.ArgumentParser:
             "default %(default)s; small chunks re-anchor between cold "
             "diverse samples, large chunks maximize sweep amortization "
             "when warm)"
+        ),
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve this host to remote corner fan-outs",
+        description=(
+            "Run a remote fan-out worker: design and evaluation runs on "
+            "other machines reach it via --executor "
+            "remote:host:port[,...].  The worker keeps solver caches "
+            "warm across iterations and serves until interrupted.  No "
+            "auth/TLS yet: bind to trusted networks only."
+        ),
+    )
+    p_worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "bind address (default %(default)s; port 0 picks a free "
+            "port, printed on startup)"
         ),
     )
 
@@ -179,6 +257,7 @@ def _cmd_design(args) -> int:
         seed=args.seed,
         corner_executor=args.executor,
         solver=args.solver,
+        remote_timeout=args.remote_timeout,
     )
     optimizer = Boson1Optimizer(device, config)
 
@@ -226,6 +305,7 @@ def _cmd_evaluate(args) -> int:
     report = evaluate_post_fab(
         device, process, pattern, n_samples=args.samples, seed=args.seed,
         executor=args.executor, block_chunk=args.block_chunk,
+        remote_timeout=args.remote_timeout,
     )
     better = "lower" if device.fom_lower_is_better else "higher"
     print(f"device          : {payload['device']} ({better} FoM is better)")
@@ -269,6 +349,45 @@ def _cmd_baseline(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    import os
+
+    from repro.core.remote import (
+        PROTOCOL_VERSION,
+        RemoteWorkerServer,
+        parse_worker_addresses,
+    )
+
+    try:
+        addresses = parse_worker_addresses(args.listen)
+        if len(addresses) != 1:
+            raise ValueError(
+                f"--listen takes exactly one address, got {len(addresses)}"
+            )
+    except ValueError as exc:
+        print(
+            f"error: --listen expects HOST:PORT, got {args.listen!r} ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    host, port = addresses[0]
+    server = RemoteWorkerServer(host, port)
+    # The parseable startup line doubles as the port announcement for
+    # --listen host:0 (tests and scripts scrape it).
+    print(
+        f"repro worker listening on {server.host}:{server.port} "
+        f"(protocol v{PROTOCOL_VERSION}, pid {os.getpid()})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_info(_args) -> int:
     print("devices   :", ", ".join(sorted(DEVICE_REGISTRY)))
     print("methods   :", ", ".join(sorted(BASELINE_REGISTRY)))
@@ -282,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
         "design": _cmd_design,
         "evaluate": _cmd_evaluate,
         "baseline": _cmd_baseline,
+        "worker": _cmd_worker,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

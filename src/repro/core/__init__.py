@@ -7,6 +7,9 @@
 * :mod:`repro.core.optimizer` — Adam on raw numpy parameters;
 * :mod:`repro.core.executors` — serial/thread/process fan-out backends
   with a deterministic ordered reduction;
+* :mod:`repro.core.remote` — the same fan-out over TCP: worker servers
+  (``repro worker``) plus the ``remote:host:port[,...]`` executor with
+  dead-worker resubmission;
 * :mod:`repro.core.engine` — :class:`Boson1Optimizer`, the end-to-end
   inverse-design loop; every paper technique is a config flag so the
   Table II ablations are configuration-only.

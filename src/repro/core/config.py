@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.remote import DEFAULT_REMOTE_TIMEOUT, parse_worker_addresses
 from repro.fdfd.linalg import SolverConfig
 
 __all__ = ["OptimizerConfig", "SolverConfig"]
@@ -62,22 +63,33 @@ class OptimizerConfig:
         Root seed for every stochastic component.
     corner_executor:
         Backend for the per-iteration corner fan-out: ``"serial"``
-        (default), ``"thread"`` / ``"thread:n"``, or ``"process"`` /
-        ``"process:n"``.  Corner losses are independent and reduced in
-        a fixed order; serial and thread executors produce bit-identical
-        results for LU-backed solver backends (``direct``/``batched``;
-        preconditioned backends agree to solver tolerance, since
-        fallback anchors arrive in scheduling order and the serial
-        executor takes the blocked path for ``krylov-block``).  The
-        process backend routes through the forward-replay
-        fan-out — workers run only the forward FDFD solves on
-        pickle-clean payloads and the parent assembles the taped VJPs
-        from the returned adjoint-basis columns — so its losses and
-        gradients match the serial path to solver precision (the
-        adjoint is recombined from per-port solves) and it scales with
-        cores on multi-core machines.
+        (default), ``"thread"`` / ``"thread:n"``, ``"process"`` /
+        ``"process:n"``, or ``"remote:host:port[,host:port...]"``
+        (worker hosts started with ``repro worker --listen``).  Corner
+        losses are independent and reduced in a fixed order; serial and
+        thread executors produce bit-identical results for LU-backed
+        solver backends (``direct``/``batched``; preconditioned
+        backends agree to solver tolerance, since fallback anchors
+        arrive in scheduling order and the serial executor takes the
+        blocked path for ``krylov-block``).  The process and remote
+        backends route through the forward-replay fan-out — workers run
+        only the forward FDFD solves on pickle-clean payloads and the
+        parent assembles the taped VJPs from the returned adjoint-basis
+        columns — so their losses and gradients match the serial path
+        to solver precision (the adjoint is recombined from per-port
+        solves) and they scale with cores / hosts.  The remote backend
+        additionally resubmits a dead worker's items to survivors (see
+        :mod:`repro.core.remote` for the failure semantics).
     executor_workers:
-        Worker count for pooled backends (``None`` = automatic).
+        Worker count for pooled backends.  ``None`` (the default)
+        auto-tunes ``process``/``remote`` to ``min(corner count,
+        available workers)`` per fan-out — on a single-core box an auto
+        process spec runs inline in the parent.
+    remote_timeout:
+        Dead-worker detection bound (seconds) for the ``remote``
+        executor: the longest a worker may stay silent — no result, no
+        heartbeat — before its work is resubmitted to survivors.
+        Ignored by in-process executors.
     simulation_cache:
         Route solves through the shared
         :class:`~repro.fdfd.workspace.SimulationWorkspace` (cached
@@ -124,6 +136,7 @@ class OptimizerConfig:
     density_beta: float = 8.0
     corner_executor: str = "serial"
     executor_workers: int | None = None
+    remote_timeout: float = DEFAULT_REMOTE_TIMEOUT
     simulation_cache: bool = True
     solver: SolverConfig | str | None = None
 
@@ -150,14 +163,24 @@ class OptimizerConfig:
             raise ValueError("relax_epochs must be >= 0")
         if not 0.0 <= self.p_start <= 1.0:
             raise ValueError("p_start must lie in [0, 1]")
-        backend = self.corner_executor.partition(":")[0]
-        if backend not in ("serial", "thread", "process"):
+        backend, _, rest = self.corner_executor.partition(":")
+        if backend not in ("serial", "thread", "process", "remote"):
             raise ValueError(
-                "corner_executor must be 'serial', 'thread' or 'process', "
-                f"got {self.corner_executor!r}"
+                "corner_executor must be 'serial', 'thread', 'process' or "
+                f"'remote:host:port[,...]', got {self.corner_executor!r}"
             )
+        if backend == "remote":
+            # Reject malformed address lists at config time, before any
+            # socket is opened (parse_worker_addresses raises a
+            # descriptive ValueError).
+            parse_worker_addresses(rest)
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1")
+        if self.remote_timeout <= 0:
+            raise ValueError(
+                f"remote_timeout must be positive (seconds), got "
+                f"{self.remote_timeout}"
+            )
 
     @property
     def effective_lr(self) -> float:

@@ -77,8 +77,8 @@ def _corner_forward_task(token, device, epoch, item):
     """One forward-replay task (module-level so process pools can pickle).
 
     ``item`` is a pickle-clean ``(alpha_bg, rho_fab array)`` pair; the
-    result is ``(ForwardSolveSummary, solver-stats delta, worker pid)``.
-    The pid rides along as evidence that forked workers actually ran
+    result is ``(ForwardSolveSummary, solver-stats delta, worker
+    identity)``.  The identity rides along as evidence that workers actually ran
     (asserted by tests and recorded by the benchmark).  The warm-pool /
     stats-delta / inline-parent protocol lives in
     :func:`repro.core.executors.run_warm_task`; the inline variant
@@ -188,12 +188,16 @@ class Boson1Optimizer:
                 device.workspace.with_solver_config(self.config.solver),
             )
         self.executor = make_executor(
-            self.config.corner_executor, self.config.executor_workers
+            self.config.corner_executor,
+            self.config.executor_workers,
+            remote_timeout=self.config.remote_timeout,
         )
-        #: Distinct worker pids seen by the process corner fan-out
-        #: (empty for in-process executors) — test/benchmark evidence
-        #: that forked workers really carried the solves.
-        self.observed_worker_pids: set[int] = set()
+        #: Distinct worker identities (``pid.nonce`` strings, distinct
+        #: even across hosts with colliding pids) seen by the
+        #: process/remote corner fan-out; empty for in-process
+        #: executors.  Test/benchmark evidence that forked or remote
+        #: workers really carried the solves.
+        self.observed_worker_pids: set[str] = set()
         self._solver_epoch = 0
         if process is None:
             process = FabricationProcess(
@@ -340,11 +344,13 @@ class Boson1Optimizer:
         return results, None
 
     def _corner_losses_process(self, rho: Tensor, corners, include_ideal: bool):
-        """All corner losses via the fork-based forward-replay fan-out.
+        """All corner losses via the forward-replay fan-out (fork or TCP).
 
         The taped fabrication chain runs per corner *in the parent*;
-        workers receive pickle-clean ``(alpha_bg, rho_fab bytes)``
-        payloads, replay only the forward FDFD solves
+        workers — forked process-pool workers or remote hosts behind a
+        :class:`~repro.core.remote.RemoteCornerExecutor` — receive
+        pickle-clean ``(alpha_bg, rho_fab bytes)`` payloads, replay only
+        the forward FDFD solves
         (:meth:`PhotonicDevice.solve_forward_summary`), and the
         summaries are injected back into the taped graph through
         :meth:`PhotonicDevice.port_powers_precomputed` — the backward
@@ -355,6 +361,11 @@ class Boson1Optimizer:
         While the relaxation ramp is active the ideal-condition system
         ships as one extra work item instead of a parent-side solve.
         Worker solve statistics are merged into the parent workspace.
+        The remote executor adds heartbeat-bounded dead-worker detection
+        and resubmits a dead worker's items to survivors inside
+        ``map_ordered`` — every item is a pure function of its payload,
+        so a mid-iteration worker death leaves the reduced result (and,
+        for LU-backed backends, every bit of the trajectory) unchanged.
         """
         rho_fabs = [self.process.apply(rho, corner) for corner in corners]
         alphas = [
@@ -377,13 +388,15 @@ class Boson1Optimizer:
         outcomes = self.executor.map_ordered(task, items)
         workspace = self.device.workspace
         results = []
-        for (summary, stats_delta, pid), rho_fab, alpha in zip(
+        for (summary, stats_delta, worker), rho_fab, alpha in zip(
             outcomes, rho_fabs, alphas
         ):
-            if pid != os.getpid():
-                # Single-item fan-outs run inline in the parent; only
-                # genuinely forked workers count as fan-out evidence.
-                self.observed_worker_pids.add(pid)
+            if worker is not None:
+                # Inline-in-parent runs report no identity
+                # (run_warm_task); every reported one is a genuine
+                # worker — the pid.nonce form stays distinct even
+                # across hosts whose pids collide.
+                self.observed_worker_pids.add(worker)
             if workspace is not None:
                 workspace.merge_solver_stats(stats_delta)
             powers = self.device.port_powers_precomputed(
@@ -413,8 +426,8 @@ class Boson1Optimizer:
         With a block-capable backend (``krylov-block``) and the serial
         executor, the fan-out is replaced by one blocked solve per
         direction of the tape (:meth:`_corner_losses_block`); taped
-        threaded execution keeps the per-corner path.  A process
-        executor routes through the forward-replay fan-out
+        threaded execution keeps the per-corner path.  A process or
+        remote executor routes through the forward-replay fan-out
         (:meth:`_corner_losses_process`): workers carry the forward
         solves, the parent assembles the VJPs, and results match the
         serial path to solver precision.  The returned corner count is

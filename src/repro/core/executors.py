@@ -21,6 +21,19 @@ can fan out without committing to a backend:
   Workers re-warm their own simulation caches; :func:`worker_warm` keeps
   the unpickled device (and its warmed workspace) alive across chunks
   and map calls so only the first task of a fan-out pays the re-warm.
+* ``remote`` — :class:`repro.core.remote.RemoteCornerExecutor`; the
+  same pickle-clean payloads shipped over TCP to worker servers started
+  with ``repro worker --listen host:port`` (spec:
+  ``remote:host:port[,host:port...]``).  Same seams, same warm-pool
+  protocol, plus dead-worker resubmission — see :mod:`repro.core.remote`.
+
+``process`` and ``remote`` specs without an explicit worker count
+auto-tune to ``min(n_items, available workers)``
+(:func:`resolve_worker_count`): corner counts per iteration bound how
+many workers can help, and on a single-core box an auto-tuned process
+spec resolves to one worker and runs inline in the parent — forking
+would be pure overhead — which makes ``--executor process`` a safe
+default everywhere.
 
 Determinism contract
 --------------------
@@ -36,6 +49,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import uuid
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -47,6 +61,7 @@ __all__ = [
     "ProcessExecutor",
     "make_executor",
     "map_ordered_with_serial_head",
+    "resolve_worker_count",
     "worker_warm",
     "run_warm_task",
     "stable_worker_token",
@@ -73,20 +88,34 @@ _WORKER_STATE_MAX = 4
 
 _TOKEN_COUNTER = itertools.count()
 
+#: Random per-process component of worker tokens.  A bare pid is not a
+#: process identity once payloads cross machines (a remote worker host
+#: can coincidentally run the server under the parent's pid, which would
+#: make :func:`task_in_parent` skip the warm pool and drop stats
+#: deltas); the nonce disambiguates.  Forked pool workers inherit the
+#: nonce but differ in pid; spawned and remote processes differ in both.
+_PROCESS_NONCE = uuid.uuid4().hex[:12]
+
+
+def _process_identity() -> str:
+    return f"{os.getpid()}.{_PROCESS_NONCE}"
+
 
 def stable_worker_token(obj, suffix: str = "") -> str:
     """A stable warm-pool token for ``obj``, minted on first use.
 
-    Tokens embed the parent PID and a process-wide counter, so two
-    objects can never share one within a parent's lifetime (``id()``
-    reuse after garbage collection would).  The token is stored on the
+    Tokens embed the parent's process identity (pid + per-process
+    nonce) and a process-wide counter, so two objects can never share
+    one within a parent's lifetime (``id()`` reuse after garbage
+    collection would), and no worker — forked or on another host — can
+    mistake a parent token for its own.  The token is stored on the
     object and ships with its pickle, which is what lets every worker of
     a fan-out agree on the cache key.  ``suffix`` namespaces different
     task kinds warming the same object (e.g. design vs. evaluation).
     """
     token = getattr(obj, "_worker_token", None)
     if token is None:
-        token = f"{os.getpid()}:{next(_TOKEN_COUNTER)}"
+        token = f"{_process_identity()}:{next(_TOKEN_COUNTER)}"
         object.__setattr__(obj, "_worker_token", token)
     return token + suffix
 
@@ -99,10 +128,11 @@ def task_in_parent(token: str) -> bool:
     the task is already using the parent's live device and workspace, so
     seeding the warm pool would pin them in the module-global cache and
     a stats delta would double-count work the parent's own counters
-    already recorded.  Tokens embed the minting pid
-    (:func:`stable_worker_token`), which makes the check one comparison.
+    already recorded.  Tokens embed the minting process's identity
+    (:func:`stable_worker_token`), which makes the check one comparison
+    — and one that stays correct across hosts, where pids can collide.
     """
-    return token.partition(":")[0] == str(os.getpid())
+    return token.partition(":")[0] == _process_identity()
 
 
 def worker_warm(token: str, value: T) -> T:
@@ -146,11 +176,14 @@ def run_warm_task(
       bracket the warmed value's workspace solver stats around the task,
       and return the delta for the parent to merge.
 
-    Returns ``(result, stats delta, pid)`` — the pid is fan-out
-    evidence (parents count only pids that differ from their own).
+    Returns ``(result, stats delta, worker identity)`` — the identity
+    (``pid.nonce``, see :func:`stable_worker_token`) is fan-out
+    evidence that stays distinct across hosts where bare pids can
+    collide; an inline run reports ``None`` instead, so parents never
+    count their own work as a worker's.
     """
     if task_in_parent(token):
-        return (inline_task or task)(fresh_value), {}, os.getpid()
+        return (inline_task or task)(fresh_value), {}, None
     value = worker_warm(token, fresh_value)
     workspace = workspace_of(value)
     before = (
@@ -162,7 +195,7 @@ def run_warm_task(
         if workspace is not None
         else {}
     )
-    return result, delta, os.getpid()
+    return result, delta, _process_identity()
 
 
 class CornerExecutor:
@@ -197,29 +230,75 @@ class SerialExecutor(CornerExecutor):
         return [fn(item) for item in items]
 
 
+def resolve_worker_count(
+    requested: int | None, n_items: int, available: int
+) -> int:
+    """Workers actually worth using for one fan-out.
+
+    An explicit request always wins.  Otherwise ``min(n_items,
+    available)``, floored at 1: more workers than items can only idle,
+    and more than the machine (or address list) offers can only thrash.
+    On a single-core box this resolves an auto ``process`` spec to one
+    worker — which pool executors then run inline in the parent, since a
+    lone forked worker is pure fork/pickle overhead.
+    """
+    if requested is not None:
+        return int(requested)
+    return max(1, min(int(n_items), int(available)))
+
+
 class _PoolExecutor(CornerExecutor):
     """Shared machinery for ``concurrent.futures``-backed executors."""
+
+    #: Whether an auto-resolved single worker should skip the pool and
+    #: run inline in the parent.  True for process pools (one forked
+    #: worker is strictly worse than the parent doing the work); False
+    #: for threads (even one pool thread overlaps GIL-released solves
+    #: with parent-side bookkeeping and is the pre-autotune behaviour).
+    _inline_single_auto_worker = False
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers
         self._pool: Executor | None = None
+        self._pool_workers: int | None = None
 
-    def _make_pool(self) -> Executor:
+    def _make_pool(self, workers: int) -> Executor:
         raise NotImplementedError
 
-    @property
-    def pool(self) -> Executor:
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+    def _available_workers(self) -> int:
+        return os.cpu_count() or 1
+
+    def _resolve_workers(self, n_items: int) -> int:
+        if self._pool_workers is not None:
+            # A live pool's size sticks until shutdown; resizing per map
+            # call would churn workers and their warm state.
+            return self._pool_workers
+        return resolve_worker_count(
+            self.max_workers, n_items, self._available_workers()
+        )
 
     def map_ordered(self, fn, items):
         items = list(items)
         if len(items) <= 1:
             return [fn(item) for item in items]
+        workers = self._resolve_workers(len(items))
+        if (
+            workers <= 1
+            and self._pool is None
+            and self.max_workers is None
+            and self._inline_single_auto_worker
+        ):
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool_workers = workers
+            self._pool = self._make_pool(workers)
         # Executor.map yields results in submission order: the ordered,
         # deterministic reduction the callers rely on.
-        return list(self.pool.map(fn, items, chunksize=self._chunksize(len(items))))
+        return list(
+            self._pool.map(
+                fn, items, chunksize=self._chunksize(len(items))
+            )
+        )
 
     def _chunksize(self, n_items: int) -> int:
         return 1
@@ -228,6 +307,7 @@ class _PoolExecutor(CornerExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+            self._pool_workers = None
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -235,8 +315,19 @@ class ThreadExecutor(_PoolExecutor):
 
     name = "thread"
 
-    def _make_pool(self) -> Executor:
-        workers = self.max_workers or min(8, os.cpu_count() or 1)
+    def _available_workers(self) -> int:
+        # Threads share the parent's memory; beyond a handful they only
+        # contend, whatever the item count (pre-autotune default kept).
+        return min(8, os.cpu_count() or 1)
+
+    def _resolve_workers(self, n_items: int) -> int:
+        if self._pool_workers is not None:
+            return self._pool_workers
+        # Item-count-independent: a thread pool is cheap to fill and the
+        # auto-tuning contract only covers process/remote backends.
+        return self.max_workers or self._available_workers()
+
+    def _make_pool(self, workers: int) -> Executor:
         return ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="corner"
         )
@@ -249,13 +340,17 @@ class ProcessExecutor(_PoolExecutor):
     pickle); they cross this executor through the forward-replay seam —
     see the module docstring and
     :meth:`repro.core.engine.Boson1Optimizer.loss`.
+
+    Without an explicit worker count the pool auto-tunes to
+    ``min(n_items, cpu count)`` at first use, and a single-core
+    resolution runs inline in the parent instead of forking.
     """
 
     name = "process"
     supports_shared_memory = False
+    _inline_single_auto_worker = True
 
-    def _make_pool(self) -> Executor:
-        workers = self.max_workers or (os.cpu_count() or 1)
+    def _make_pool(self, workers: int) -> Executor:
         return ProcessPoolExecutor(max_workers=workers)
 
     def _chunksize(self, n_items: int) -> int:
@@ -263,7 +358,7 @@ class ProcessExecutor(_PoolExecutor):
         # pattern) is pickled once per chunk, so each worker unpickles a
         # single simulation workspace and warms it across its chunk
         # instead of starting cold on every item.
-        workers = self.max_workers or (os.cpu_count() or 1)
+        workers = self._pool_workers or self.max_workers or (os.cpu_count() or 1)
         return max(1, -(-n_items // workers))
 
 
@@ -288,16 +383,39 @@ def map_ordered_with_serial_head(
     return [fn(items[0])] + list(pool.map_ordered(fn, items[1:]))
 
 
-EXECUTOR_BACKENDS: dict[str, type[CornerExecutor]] = {
+def _remote_factory(
+    address_spec: str,
+    max_workers: int | None = None,
+    remote_timeout: float | None = None,
+) -> CornerExecutor:
+    """Build a :class:`repro.core.remote.RemoteCornerExecutor`.
+
+    Imported lazily: :mod:`repro.core.remote` subclasses
+    :class:`CornerExecutor` from this module, so a top-level import here
+    would be a cycle.
+    """
+    from repro.core.remote import RemoteCornerExecutor
+
+    return RemoteCornerExecutor(
+        address_spec, timeout=remote_timeout, max_workers=max_workers
+    )
+
+
+#: Registered executor backends.  ``remote`` maps to a *factory* (its
+#: spec remainder is an address list, not a worker count, and the class
+#: lives in :mod:`repro.core.remote` to keep this module socket-free).
+EXECUTOR_BACKENDS: dict[str, "type[CornerExecutor] | Callable"] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "remote": _remote_factory,
 }
 
 
 def make_executor(
     spec: "str | CornerExecutor | None",
     max_workers: int | None = None,
+    remote_timeout: float | None = None,
 ) -> CornerExecutor:
     """Build an executor from a backend spec.
 
@@ -305,19 +423,36 @@ def make_executor(
     ----------
     spec:
         ``None`` or ``"serial"``, ``"thread"``, ``"process"`` —
-        optionally with a worker count suffix (``"thread:4"``).  An
-        existing :class:`CornerExecutor` passes through unchanged.
+        optionally with a worker count suffix (``"thread:4"``) — or
+        ``"remote:host:port[,host:port...]"``.  An existing
+        :class:`CornerExecutor` passes through unchanged.
     max_workers:
         Worker count; overridden by a ``:n`` suffix in ``spec``.
+        ``None`` auto-tunes pooled backends (see
+        :func:`resolve_worker_count`); for ``remote`` it caps how many
+        of the listed workers a single fan-out uses.
+    remote_timeout:
+        Dead-worker detection bound in seconds for the ``remote``
+        backend (CLI ``--remote-timeout``); ignored by the in-process
+        backends.
     """
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, CornerExecutor):
         return spec
-    name, _, count = str(spec).partition(":")
-    if count:
+    name, _, rest = str(spec).partition(":")
+    if name == "remote":
+        if not rest:
+            raise ValueError(
+                "remote executor spec needs worker addresses: "
+                "remote:host:port[,host:port...]"
+            )
+        return _remote_factory(
+            rest, max_workers=max_workers, remote_timeout=remote_timeout
+        )
+    if rest:
         try:
-            max_workers = int(count)
+            max_workers = int(rest)
         except ValueError:
             raise ValueError(
                 f"invalid worker count in executor spec {spec!r}"

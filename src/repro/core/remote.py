@@ -1,0 +1,971 @@
+"""Multi-node corner fan-out over sockets.
+
+The process fan-out of :mod:`repro.core.executors` already reduced every
+unit of work to a pickle-clean payload: a task closure (device + solver
+epoch) applied to ``(alpha_bg, rho_fab)`` items, returning a
+:class:`~repro.devices.base.ForwardSolveSummary` (or a Monte-Carlo
+sample result) plus a solver-stats delta.  This module ships exactly
+those payloads over TCP instead of a fork boundary:
+
+* :class:`RemoteWorkerServer` — run on any host via
+  ``repro worker --listen host:port``; unpickles task state, executes
+  items, and keeps the same per-token warm pool
+  (:func:`repro.core.executors.worker_warm`) alive across chunks and
+  optimizer iterations that forked workers enjoy.
+* :class:`RemoteCornerExecutor` — the client half, selected with
+  ``--executor remote:host:port[,host:port...]``.  It registers as an
+  executor backend, so the engine's forward-replay seam and the
+  Monte-Carlo warm-pool seam route through it unchanged.
+
+Wire protocol
+-------------
+Every message is a *frame*: an 8-byte big-endian payload length, a
+16-byte BLAKE2b digest of the payload, then the pickled payload itself.
+The receiver verifies length bounds and the digest before unpickling, so
+a truncated or corrupted stream fails loudly instead of poisoning a
+trajectory.  On top of the framing:
+
+* **Handshake** — the client opens with ``hello`` (protocol version +
+  its heartbeat interval); the server answers ``welcome`` (version +
+  pid) or a descriptive ``error``.  Version skew is detected by both
+  sides and reported as an error, never a hang.
+* **Seeding** — task state (the device-carrying closure) is shipped once
+  per *key* per worker as a ``seed`` frame carrying its own BLAKE2b
+  digest; the server verifies the digest before unpickling (a mismatch
+  is a descriptive error) and caches the closure in a bounded LRU.  The
+  engine's per-iteration closures embed the solver epoch, so the device
+  ships exactly once per epoch per worker; a worker that lost its seed
+  (restart, LRU eviction) answers ``need-seed`` and the client re-sends.
+* **Tasks** — ``task`` frames carry only the item (a few design-shaped
+  arrays); the server executes the seeded closure on it and replies
+  ``result``.  While a task runs the server emits ``busy`` heartbeats at
+  the client's requested interval, so the client's socket timeout
+  (``--remote-timeout``) bounds *dead-worker detection* without bounding
+  task duration.
+
+Failure semantics
+-----------------
+Worker death (socket EOF, refused reconnect, heartbeat silence) is
+survivable: the dying worker's queued and in-flight items are resubmitted
+to surviving workers, and because every item is a pure function of its
+payload the final ordered reduction is unchanged — for LU-backed solver
+backends, bitwise.  A task that *raises* on a worker is not resubmitted
+(it would raise identically everywhere); the remote traceback surfaces
+in the parent as :class:`RemoteTaskError`.  Only when every worker is
+dead does the fan-out raise, listing each worker's failure.
+
+No authentication or transport encryption yet: run workers on trusted
+networks only (the seeded closures are arbitrary pickles).  See the
+ROADMAP's multi-node item for what auth/TLS would take.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import socket
+import struct
+import threading
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.executors import CornerExecutor, resolve_worker_count
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_REMOTE_TIMEOUT",
+    "RemoteProtocolError",
+    "RemoteTaskError",
+    "RemoteWorkerDied",
+    "FaultInjection",
+    "RemoteWorkerServer",
+    "RemoteCornerExecutor",
+    "parse_worker_addresses",
+    "start_worker_subprocess",
+]
+
+#: Bumped whenever the frame layout or message schema changes; both ends
+#: refuse a peer speaking another version with a descriptive error.
+PROTOCOL_VERSION = 1
+
+#: Dead-worker detection bound (seconds): the longest silence — no
+#: result, no ``busy`` heartbeat — the client tolerates before declaring
+#: a worker dead and resubmitting its work.  CLI ``--remote-timeout``.
+DEFAULT_REMOTE_TIMEOUT = 30.0
+
+#: 8-byte payload length + 16-byte BLAKE2b payload digest.
+_FRAME_HEADER = struct.Struct(">Q16s")
+#: Refuse absurd frames before allocating (a corrupted length field
+#: would otherwise ask for petabytes).
+_MAX_FRAME_BYTES = 1 << 31
+#: Seeded task closures kept per worker process.  Each entry can pin a
+#: device plus its (re-warmed) workspace, so the bound is small — old
+#: epochs age out naturally.
+_MAX_SEEDS = 8
+
+
+class RemoteProtocolError(RuntimeError):
+    """Version skew, digest mismatch, or malformed frames — not retried."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A task raised on the worker; carries the remote traceback."""
+
+
+class RemoteWorkerDied(RuntimeError):
+    """Connection lost or heartbeat silence; work is resubmitted."""
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+def seed_key(payload: bytes) -> str:
+    """Content key of a seed payload (hex BLAKE2b-128)."""
+    return _digest(payload).hex()
+
+
+# --------------------------------------------------------------------- #
+# Framing                                                               #
+# --------------------------------------------------------------------- #
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = io.BytesIO()
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise RemoteWorkerDied("connection closed mid-frame")
+        buf.write(chunk)
+        remaining -= len(chunk)
+    return buf.getvalue()
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """One length-prefixed, digest-checked frame carrying ``message``."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME_HEADER.pack(len(payload), _digest(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Receive one frame; verifies the length bound and payload digest."""
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    length, digest = _FRAME_HEADER.unpack(header)
+    if length > _MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"frame announces {length} bytes (> {_MAX_FRAME_BYTES} bound); "
+            "peer is not speaking the repro worker protocol"
+        )
+    payload = _recv_exact(sock, length)
+    if _digest(payload) != digest:
+        raise RemoteProtocolError(
+            "frame payload digest mismatch: the stream was corrupted in "
+            "transit"
+        )
+    message = pickle.loads(payload)
+    if not isinstance(message, dict) or "kind" not in message:
+        raise RemoteProtocolError(
+            f"malformed frame payload of type {type(message).__name__}; "
+            "expected a message dict with a 'kind'"
+        )
+    return message
+
+
+def parse_worker_addresses(spec: str) -> "list[tuple[str, int]]":
+    """Parse ``host:port[,host:port...]`` into ``[(host, port), ...]``.
+
+    The grammar behind ``--executor remote:...``; raises a descriptive
+    :class:`ValueError` on malformed entries so config validation can
+    reject bad specs before any socket is opened.
+    """
+    addresses: list[tuple[str, int]] = []
+    for entry in str(spec).split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        host, sep, port_text = entry.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"remote worker address {entry!r} is not host:port "
+                "(expected e.g. remote:127.0.0.1:7070,10.0.0.2:7070)"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"remote worker address {entry!r} has a non-integer port"
+            ) from None
+        if not 0 <= port <= 65535:
+            raise ValueError(
+                f"remote worker address {entry!r} has an out-of-range port"
+            )
+        addresses.append((host, port))
+    if not addresses:
+        raise ValueError(
+            "remote executor spec names no worker addresses; expected "
+            "remote:host:port[,host:port...]"
+        )
+    return addresses
+
+
+# --------------------------------------------------------------------- #
+# Worker server                                                         #
+# --------------------------------------------------------------------- #
+@dataclass
+class FaultInjection:
+    """Deterministic failure knobs for the fault-injection test harness.
+
+    ``fail_after_tasks=N`` lets the first ``N`` task frames execute
+    normally, then kills the server — listener and every open connection
+    closed abruptly, no reply — when task ``N + 1`` arrives.  That is
+    the reproducible stand-in for "the worker host died mid-iteration":
+    the client sees EOF exactly between two well-defined tasks, so tests
+    can assert the resubmission path deterministically.
+    """
+
+    fail_after_tasks: int | None = None
+
+
+class RemoteWorkerServer:
+    """One worker host's server: accept loop + per-connection handlers.
+
+    Binds immediately (``port=0`` picks a free port, exposed as
+    :attr:`address`); :meth:`serve_forever` blocks, accepting one thread
+    per connection.  All connections share one bounded seed cache, and
+    task closures run with the same worker warm-pool protocol as forked
+    process-pool workers — a device seeded in epoch 1 stays warm for
+    every later epoch's tasks.
+
+    ``protocol_version`` is a test knob for exercising version-skew
+    handling; leave it at the default everywhere else.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault: FaultInjection | None = None,
+        protocol_version: int = PROTOCOL_VERSION,
+    ):
+        self.fault = fault
+        self.protocol_version = int(protocol_version)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._seeds: "OrderedDict[str, Callable]" = OrderedDict()
+        self._connections: "set[socket.socket]" = set()
+        self._tasks_seen = 0
+        self._closed = False
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown` (or fault death)."""
+        try:
+            while not self._closed:
+                try:
+                    conn, _peer = self._listener.accept()
+                except OSError:
+                    break  # listener closed by shutdown()/_die()
+                thread = threading.Thread(
+                    target=self._handle, args=(conn,), daemon=True
+                )
+                thread.start()
+        finally:
+            self.shutdown()
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run the accept loop in a daemon thread (in-process tests)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _die(self) -> None:
+        """Fault injection: drop everything abruptly, reply to nothing."""
+        self.shutdown()
+
+    def _fault_triggered(self) -> bool:
+        fault = self.fault
+        if fault is None or fault.fail_after_tasks is None:
+            return False
+        with self._lock:
+            self._tasks_seen += 1
+            return self._tasks_seen > fault.fail_after_tasks
+
+    # ------------------------------------------------------------------ #
+    def _handle(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._connections.add(conn)
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Connections legitimately idle between map calls (the
+            # client pools them across optimizer iterations), so a recv
+            # timeout would kill healthy peers.  TCP keepalive instead:
+            # a client host that vanishes without FIN/RST (power loss,
+            # network partition) is reaped by the kernel in ~2 minutes
+            # rather than pinning a handler thread and fd forever.
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+            for opt, value in (
+                ("TCP_KEEPIDLE", 60),
+                ("TCP_KEEPINTVL", 10),
+                ("TCP_KEEPCNT", 6),
+            ):
+                if hasattr(socket, opt):
+                    conn.setsockopt(
+                        socket.IPPROTO_TCP, getattr(socket, opt), value
+                    )
+            hello = recv_frame(conn)
+            if hello.get("kind") != "hello":
+                send_frame(
+                    conn,
+                    {
+                        "kind": "error",
+                        "message": (
+                            f"expected a hello frame, got "
+                            f"{hello.get('kind')!r}; is the client a repro "
+                            "remote executor?"
+                        ),
+                    },
+                )
+                return
+            if int(hello.get("version", -1)) != self.protocol_version:
+                send_frame(
+                    conn,
+                    {
+                        "kind": "error",
+                        "message": (
+                            f"protocol version mismatch: worker speaks "
+                            f"v{self.protocol_version}, client sent "
+                            f"v{hello.get('version')!r} — upgrade the older "
+                            "side (repro worker and the driving repro CLI "
+                            "must match)"
+                        ),
+                    },
+                )
+                return
+            heartbeat = max(0.05, float(hello.get("heartbeat", 1.0)))
+            send_frame(
+                conn,
+                {
+                    "kind": "welcome",
+                    "version": self.protocol_version,
+                    "pid": os.getpid(),
+                },
+            )
+            while not self._closed:
+                message = recv_frame(conn)
+                if not self._dispatch(conn, message, heartbeat):
+                    break
+        except (RemoteWorkerDied, OSError):
+            pass  # client went away; nothing to answer
+        except RemoteProtocolError as exc:
+            try:
+                send_frame(conn, {"kind": "error", "message": str(exc)})
+            except OSError:
+                pass
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(
+        self, conn: socket.socket, message: dict, heartbeat: float
+    ) -> bool:
+        """Handle one client frame; False ends the connection loop."""
+        kind = message.get("kind")
+        if kind == "bye":
+            return False
+        if kind == "ping":
+            send_frame(conn, {"kind": "pong"})
+            return True
+        if kind == "seed":
+            return self._handle_seed(conn, message)
+        if kind == "task":
+            return self._handle_task(conn, message, heartbeat)
+        send_frame(
+            conn,
+            {
+                "kind": "error",
+                "message": f"unknown message kind {kind!r}",
+            },
+        )
+        return False
+
+    def _handle_seed(self, conn: socket.socket, message: dict) -> bool:
+        payload = message.get("payload")
+        key = message.get("key")
+        if not isinstance(payload, bytes) or not isinstance(key, str):
+            send_frame(
+                conn,
+                {"kind": "error", "message": "malformed seed frame"},
+            )
+            return False
+        actual = seed_key(payload)
+        if actual != key:
+            # The per-frame digest already rules out transit corruption,
+            # so a key mismatch means client and worker disagree about
+            # *which* task state this is — refuse it loudly.
+            send_frame(
+                conn,
+                {
+                    "kind": "error",
+                    "message": (
+                        f"task-state digest mismatch: client announced "
+                        f"device digest {key[:12]}… but the payload hashes "
+                        f"to {actual[:12]}… — refusing to run a different "
+                        "task state than the client intended"
+                    ),
+                },
+            )
+            return False
+        try:
+            fn = pickle.loads(payload)
+        except Exception as exc:
+            send_frame(
+                conn,
+                {
+                    "kind": "error",
+                    "message": (
+                        f"could not unpickle task state: {exc!r} (worker "
+                        "and client must run compatible repro versions)"
+                    ),
+                },
+            )
+            return False
+        with self._lock:
+            self._seeds[key] = fn
+            self._seeds.move_to_end(key)
+            while len(self._seeds) > _MAX_SEEDS:
+                self._seeds.popitem(last=False)
+        send_frame(conn, {"kind": "seeded", "key": key})
+        return True
+
+    def _handle_task(
+        self, conn: socket.socket, message: dict, heartbeat: float
+    ) -> bool:
+        if self._fault_triggered():
+            self._die()
+            return False
+        key = message.get("key")
+        with self._lock:
+            fn = self._seeds.get(key)
+            if fn is not None:
+                self._seeds.move_to_end(key)
+        if fn is None:
+            # Worker restarted or the seed aged out of the LRU: ask the
+            # client to re-ship the task state instead of failing.
+            send_frame(conn, {"kind": "need-seed", "key": key})
+            return True
+        item = message.get("item")
+        box: dict = {}
+
+        def run() -> None:
+            try:
+                box["value"] = fn(item)
+            except BaseException:
+                box["error"] = traceback.format_exc()
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        while True:
+            worker.join(heartbeat)
+            if not worker.is_alive():
+                break
+            # Liveness while the solve runs: the client resets its death
+            # timer on any frame, so long tasks survive short timeouts.
+            send_frame(conn, {"kind": "busy"})
+        if "error" in box:
+            send_frame(
+                conn, {"kind": "result", "ok": False, "error": box["error"]}
+            )
+            return True
+        try:
+            send_frame(
+                conn, {"kind": "result", "ok": True, "value": box["value"]}
+            )
+        except OSError:
+            raise  # the socket itself failed; the client handles death
+        except Exception as exc:
+            # An unpicklable result is a *task* defect, not a dead
+            # worker: send_frame pickles before writing, so nothing hit
+            # the wire yet and a clean error-result frame can follow —
+            # the client raises RemoteTaskError once instead of
+            # "resubmitting" the same failure around the whole fleet.
+            send_frame(
+                conn,
+                {
+                    "kind": "result",
+                    "ok": False,
+                    "error": (
+                        f"task result could not be serialized for the "
+                        f"reply: {exc!r}"
+                    ),
+                },
+            )
+        return True
+
+
+def start_worker_subprocess(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fault: FaultInjection | None = None,
+):
+    """Fork a :class:`RemoteWorkerServer` into its own process.
+
+    Binds in the parent first — so the chosen port is known without a
+    race — then forks; the child inherits the listening socket and runs
+    the accept loop.  Returns ``(process, (host, port))``.  Tests use
+    this for true process isolation (worker warm pools, pids, stats
+    deltas all behave exactly as they would on a remote host), and
+    ``process.terminate()`` is the blunt-instrument counterpart of the
+    deterministic :class:`FaultInjection` knob.
+    """
+    import multiprocessing as mp
+
+    server = RemoteWorkerServer(host, port, fault=fault)
+    ctx = mp.get_context("fork")
+    process = ctx.Process(target=server.serve_forever, daemon=True)
+    process.start()
+    # The child owns its inherited copy; drop the parent's so a killed
+    # worker's port actually closes.
+    server._listener.close()
+    return process, server.address
+
+
+# --------------------------------------------------------------------- #
+# Client executor                                                       #
+# --------------------------------------------------------------------- #
+class _WorkerConnection:
+    """One persistent, handshaken connection to a worker server."""
+
+    def __init__(
+        self, address: "tuple[str, int]", timeout: float, heartbeat: float
+    ):
+        self.address = address
+        try:
+            self.sock = socket.create_connection(address, timeout=timeout)
+        except OSError as exc:
+            raise RemoteWorkerDied(
+                f"could not connect to worker {address[0]}:{address[1]}: "
+                f"{exc}"
+            ) from exc
+        self.sock.settimeout(timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        #: Seed keys this worker has acknowledged.
+        self.seeded: "set[str]" = set()
+        # Any handshake failure must close the just-connected socket —
+        # a failed _WorkerConnection is never cached, so nothing else
+        # could ever close it, and checkout retries (one per map call
+        # against a hung-but-listening host) would leak one fd each.
+        try:
+            try:
+                send_frame(
+                    self.sock,
+                    {
+                        "kind": "hello",
+                        "version": PROTOCOL_VERSION,
+                        "heartbeat": heartbeat,
+                    },
+                )
+                welcome = self._recv()
+            except socket.timeout as exc:
+                raise RemoteWorkerDied(
+                    f"worker {address[0]}:{address[1]} did not answer the "
+                    f"handshake within {timeout:g}s"
+                ) from exc
+            if welcome["kind"] == "error":
+                raise RemoteProtocolError(
+                    f"worker {address[0]}:{address[1]} refused the "
+                    f"handshake: {welcome.get('message')}"
+                )
+            if welcome["kind"] != "welcome":
+                raise RemoteProtocolError(
+                    f"worker {address[0]}:{address[1]} answered the "
+                    f"handshake with {welcome['kind']!r}, not welcome"
+                )
+            if int(welcome.get("version", -1)) != PROTOCOL_VERSION:
+                raise RemoteProtocolError(
+                    f"protocol version mismatch: this client speaks "
+                    f"v{PROTOCOL_VERSION}, worker {address[0]}:{address[1]} "
+                    f"answered v{welcome.get('version')!r} — upgrade the "
+                    "older side"
+                )
+        except BaseException:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            raise
+        self.pid = int(welcome.get("pid", -1))
+
+    def _recv(self) -> dict:
+        return recv_frame(self.sock)
+
+    def _ensure_seeded(self, key: str, fn_bytes: bytes) -> None:
+        if key in self.seeded:
+            return
+        send_frame(
+            self.sock, {"kind": "seed", "key": key, "payload": fn_bytes}
+        )
+        reply = self._recv()
+        if reply["kind"] == "error":
+            raise RemoteProtocolError(
+                f"worker {self.address[0]}:{self.address[1]} rejected the "
+                f"task state: {reply.get('message')}"
+            )
+        if reply["kind"] != "seeded":
+            raise RemoteProtocolError(
+                f"expected a seeded ack, got {reply['kind']!r}"
+            )
+        self.seeded.add(key)
+
+    def run_task(self, key: str, fn_bytes: bytes, item) -> object:
+        """Execute one item remotely; busy heartbeats keep it alive."""
+        host, port = self.address
+        for _attempt in range(2):
+            self._ensure_seeded(key, fn_bytes)
+            send_frame(self.sock, {"kind": "task", "key": key, "item": item})
+            while True:
+                try:
+                    reply = self._recv()
+                except socket.timeout as exc:
+                    raise RemoteWorkerDied(
+                        f"worker {host}:{port} went silent (no result or "
+                        "heartbeat within the remote timeout)"
+                    ) from exc
+                kind = reply["kind"]
+                if kind == "busy":
+                    continue
+                if kind == "need-seed":
+                    # Worker lost the seed (restart / LRU); re-ship once.
+                    self.seeded.discard(key)
+                    break
+                if kind == "error":
+                    raise RemoteProtocolError(
+                        f"worker {host}:{port} reported: "
+                        f"{reply.get('message')}"
+                    )
+                if kind == "result":
+                    if reply.get("ok"):
+                        return reply.get("value")
+                    raise RemoteTaskError(
+                        f"task raised on worker {host}:{port}:\n"
+                        f"{reply.get('error')}"
+                    )
+                raise RemoteProtocolError(
+                    f"unexpected frame kind {kind!r} while awaiting a result"
+                )
+        raise RemoteProtocolError(
+            f"worker {host}:{port} keeps demanding a seed it was just sent"
+        )
+
+    def close(self) -> None:
+        try:
+            send_frame(self.sock, {"kind": "bye"})
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _MapState:
+    """Shared bookkeeping of one ordered map: queues, results, failures.
+
+    Items are pre-assigned round-robin to worker slots; an idle worker
+    steals from the back of the longest remaining queue, and a dead
+    worker's queue (plus its in-flight item) stays stealable — that is
+    the transparent-resubmission path.  ``results`` is index-addressed,
+    so the reduction order never depends on which worker ran what.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, n_items: int, n_slots: int):
+        self.cond = threading.Condition()
+        self.queues = [
+            deque(range(slot, n_items, n_slots)) for slot in range(n_slots)
+        ]
+        self.results = [self._UNSET] * n_items
+        self.remaining = n_items
+        self.in_flight = 0
+        self.fatal: BaseException | None = None
+        self.worker_failures: "list[str]" = []
+
+    def next_index(self, slot: int) -> int | None:
+        with self.cond:
+            while True:
+                if self.fatal is not None or self.remaining == 0:
+                    return None
+                if self.queues[slot]:
+                    self.in_flight += 1
+                    return self.queues[slot].popleft()
+                donor = max(self.queues, key=len)
+                if donor:
+                    self.in_flight += 1
+                    return donor.pop()
+                if self.in_flight == 0:
+                    # Unfinished items but nothing queued or running:
+                    # every holder died.  map_ordered reports it.
+                    return None
+                # Items are in flight elsewhere; one may yet be
+                # resubmitted here if its worker dies.  The timeout is a
+                # safety net against a lost notify, not a poll loop.
+                self.cond.wait(timeout=0.5)
+
+    def set_result(self, index: int, value) -> None:
+        with self.cond:
+            if self.results[index] is self._UNSET:
+                self.remaining -= 1
+            self.results[index] = value
+            self.in_flight -= 1
+            self.cond.notify_all()
+
+    def requeue(self, slot: int, index: int) -> None:
+        with self.cond:
+            self.queues[slot].append(index)
+            self.in_flight -= 1
+            self.cond.notify_all()
+
+    def record_worker_failure(self, message: str) -> None:
+        with self.cond:
+            self.worker_failures.append(message)
+            self.cond.notify_all()
+
+    def set_fatal(self, exc: BaseException) -> None:
+        with self.cond:
+            if self.fatal is None:
+                self.fatal = exc
+            self.cond.notify_all()
+
+    def missing(self) -> "list[int]":
+        return [
+            i for i, r in enumerate(self.results) if r is self._UNSET
+        ]
+
+
+class RemoteCornerExecutor(CornerExecutor):
+    """Ordered fan-out to remote worker servers over TCP.
+
+    Registered as the ``remote`` executor backend
+    (``remote:host:port[,host:port...]``).  Like the process executor it
+    advertises ``supports_shared_memory = False``, so the engine routes
+    taped corner losses through the forward-replay seam and Monte-Carlo
+    evaluation through the warm-pool seam — this class only has to move
+    the already pickle-clean payloads and keep the ordered-reduction
+    contract.
+
+    Per map call the task closure is pickled once and shipped to each
+    participating worker under its content digest (once per epoch per
+    worker, because the engine's closures embed the epoch); items are
+    round-robined across workers with work stealing on idle, and a dead
+    worker's items are resubmitted to survivors.  Connections persist
+    across map calls, so worker-side warm pools survive whole
+    optimizations; :meth:`shutdown` closes them and the next map call
+    reconnects lazily (mirroring the pool executors).
+    """
+
+    name = "remote"
+    supports_shared_memory = False
+
+    def __init__(
+        self,
+        addresses: "Sequence[tuple[str, int]] | str",
+        timeout: float | None = None,
+        max_workers: int | None = None,
+    ):
+        if isinstance(addresses, str):
+            addresses = parse_worker_addresses(addresses)
+        # Order-preserving dedup: connections are pooled per address, so
+        # a repeated entry would hand one socket to two slot threads and
+        # interleave their frames.  Per-host concurrency is expressed by
+        # running several `repro worker` processes (distinct ports) on
+        # that host, not by repeating one address.
+        self.addresses = list(
+            dict.fromkeys((str(h), int(p)) for h, p in addresses)
+        )
+        if not self.addresses:
+            raise ValueError("remote executor needs at least one address")
+        self.timeout = (
+            DEFAULT_REMOTE_TIMEOUT if timeout is None else float(timeout)
+        )
+        if self.timeout <= 0:
+            raise ValueError(
+                f"remote timeout must be positive, got {self.timeout}"
+            )
+        self.max_workers = max_workers
+        #: Remote worker pids observed answering handshakes (fan-out
+        #: evidence for tests and the benchmark).
+        self.observed_pids: "set[int]" = set()
+        self._lock = threading.Lock()
+        self._connections: "dict[tuple[str, int], _WorkerConnection]" = {}
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """Server-side ``busy`` cadence: 4 beats per timeout window."""
+        return max(0.05, self.timeout / 4.0)
+
+    # ------------------------------------------------------------------ #
+    def _checkout(self, address: "tuple[str, int]") -> _WorkerConnection:
+        with self._lock:
+            conn = self._connections.get(address)
+        if conn is not None:
+            return conn
+        conn = _WorkerConnection(address, self.timeout, self.heartbeat_interval)
+        with self._lock:
+            self._connections[address] = conn
+        self.observed_pids.add(conn.pid)
+        return conn
+
+    def _discard(self, address: "tuple[str, int]") -> None:
+        with self._lock:
+            conn = self._connections.pop(address, None)
+        if conn is not None:
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+
+    def map_ordered(
+        self, fn: Callable, items: "Sequence | Iterable"
+    ) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            # Match the pool executors: single-item fan-outs run inline
+            # in the parent (run_warm_task detects this and returns an
+            # empty stats delta).
+            return [fn(item) for item in items]
+        try:
+            fn_bytes = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ValueError(
+                f"remote executor task state is not picklable: {exc!r} — "
+                "only the forward-replay / warm-pool seams' pickle-clean "
+                "closures can cross a socket"
+            ) from exc
+        key = seed_key(fn_bytes)
+        # An explicit max_workers is a *cap*, never a promise of more
+        # sockets than the spec names — and never more than the items.
+        n_workers = min(
+            resolve_worker_count(
+                self.max_workers, len(items), len(self.addresses)
+            ),
+            len(self.addresses),
+            len(items),
+        )
+        state = _MapState(len(items), n_workers)
+        threads = []
+        for slot in range(n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(slot, self.addresses[slot], key, fn_bytes, items, state),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        if state.fatal is not None:
+            raise state.fatal
+        missing = state.missing()
+        if missing:
+            failures = "; ".join(state.worker_failures) or "no failure detail"
+            raise RuntimeError(
+                f"all remote workers died before items {missing} completed "
+                f"(addresses {self.addresses}); worker failures: {failures}"
+            )
+        return list(state.results)
+
+    def _worker_loop(
+        self,
+        slot: int,
+        address: "tuple[str, int]",
+        key: str,
+        fn_bytes: bytes,
+        items: list,
+        state: _MapState,
+    ) -> None:
+        host, port = address
+        try:
+            conn = self._checkout(address)
+        except (RemoteWorkerDied, OSError) as exc:
+            # This worker never joined (refused, reset, or silent); its
+            # pre-assigned queue stays stealable by the survivors.
+            state.record_worker_failure(
+                f"worker {host}:{port} unavailable: {exc}"
+            )
+            return
+        except RemoteProtocolError as exc:
+            # Version skew / digest refusal is systemic, not a lone dead
+            # host: fail the whole map with the descriptive message
+            # instead of silently shrinking the fleet.
+            state.set_fatal(exc)
+            return
+        while True:
+            index = state.next_index(slot)
+            if index is None:
+                return
+            try:
+                result = conn.run_task(key, fn_bytes, items[index])
+            except RemoteTaskError as exc:
+                # The task itself raised; it would raise identically on
+                # any worker, so resubmission would only mask the bug.
+                state.requeue(slot, index)
+                state.set_fatal(exc)
+                return
+            except RemoteProtocolError as exc:
+                state.requeue(slot, index)
+                state.set_fatal(exc)
+                return
+            except (RemoteWorkerDied, OSError) as exc:
+                # Dead worker: resubmit its in-flight item (and leave its
+                # queue) to the survivors, drop the connection so the
+                # next map call reconnects from scratch.
+                self._discard(address)
+                state.requeue(slot, index)
+                state.record_worker_failure(
+                    f"worker {host}:{port} died mid-run: {exc}"
+                )
+                return
+            except BaseException as exc:
+                # Anything else (unpicklable result, client-side bug):
+                # fail the map loudly rather than leaving in-flight
+                # bookkeeping dangling for the survivors to wait on.
+                state.requeue(slot, index)
+                state.set_fatal(exc)
+                return
+            state.set_result(index, result)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for conn in connections:
+            conn.close()

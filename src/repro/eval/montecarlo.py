@@ -140,15 +140,16 @@ def _evaluate_sample_task(
     parked in the worker's warm pool so its workspace and calibration
     caches survive across chunks and repeated evaluations, and the task
     returns its solver-stats delta (merged into the parent workspace by
-    :func:`evaluate_post_fab`) plus the worker pid as fan-out evidence.
+    :func:`evaluate_post_fab`) plus the worker identity as fan-out
+    evidence.
     """
-    (fom, powers), delta, pid = run_warm_task(
+    (fom, powers), delta, worker = run_warm_task(
         token,
         device,
         lambda dev: _evaluate_sample(dev, process, pattern, corner),
         lambda dev: dev.workspace,
     )
-    return fom, powers, delta, pid
+    return fom, powers, delta, worker
 
 
 def evaluate_post_fab(
@@ -160,6 +161,7 @@ def evaluate_post_fab(
     t_delta: float = 30.0,
     executor: CornerExecutor | str | None = None,
     block_chunk: int = DEFAULT_BLOCK_CHUNK,
+    remote_timeout: float | None = None,
 ) -> RobustnessReport:
     """Expected post-fabrication performance of a design pattern.
 
@@ -176,10 +178,13 @@ def evaluate_post_fab(
         Evaluation seed, independent of the optimization seed.
     executor:
         Sample fan-out backend (``None``/``"serial"``, ``"thread"``,
-        ``"process"``, or a :class:`~repro.core.executors.CornerExecutor`).
+        ``"process"``, ``"remote:host:port[,...]"``, or a
+        :class:`~repro.core.executors.CornerExecutor`).
         All corners are drawn *before* the fan-out and results reduce in
         sample order, so with LU-backed solver backends the report is
-        bit-identical for every backend and worker count.  The ``krylov``
+        bit-identical for every backend and worker count — including the
+        remote backend, whose dead-worker resubmission re-runs the same
+        pure per-sample tasks on survivors.  The ``krylov``
         backend evaluates the first sample before the fan-out on
         shared-memory executors so the preconditioner anchor is
         deterministic (process workers re-warm their own workspaces and
@@ -201,6 +206,10 @@ def evaluate_post_fab(
         falls back mid-run the report is bitwise identical for every
         chunk size (asserted by the test suite), and fallback anchoring
         differences stay within the solver tolerance.
+    remote_timeout:
+        Dead-worker detection bound (seconds) for ``remote`` executor
+        specs; ignored otherwise.  ``None`` keeps the default
+        (:data:`repro.core.remote.DEFAULT_REMOTE_TIMEOUT`).
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
@@ -214,10 +223,10 @@ def evaluate_post_fab(
         for i in range(n_samples)
     ]
 
-    pool = make_executor(executor)
-    # In-process (serial/thread) task; the process backend routes
-    # through _evaluate_sample_task below for worker warm-pooling and
-    # stats merging.
+    pool = make_executor(executor, remote_timeout=remote_timeout)
+    # In-process (serial/thread) task; the process and remote backends
+    # route through _evaluate_sample_task below for worker warm-pooling
+    # and stats merging.
     task = functools.partial(_evaluate_sample, device, process, pattern)
     workspace = device.workspace
     try:
@@ -246,10 +255,11 @@ def evaluate_post_fab(
             if powers_list is not None:
                 results = [(device.fom(p), p) for p in powers_list]
         if results is None and not pool.supports_shared_memory:
-            # Process fan-out: same warm-pool seam as the engine's taped
-            # corner fan-out — workers keep their re-warmed device across
-            # chunks and repeated evaluations, and their solve statistics
-            # merge back into the parent workspace.
+            # Process/remote fan-out: same warm-pool seam as the
+            # engine's taped corner fan-out — workers (forked or behind
+            # a socket) keep their re-warmed device across chunks and
+            # repeated evaluations, and their solve statistics merge
+            # back into the parent workspace.
             task_p = functools.partial(
                 _evaluate_sample_task,
                 stable_worker_token(device, ":eval"),
@@ -258,7 +268,7 @@ def evaluate_post_fab(
                 pattern,
             )
             results = []
-            for fom, powers, delta, _pid in pool.map_ordered(task_p, corners):
+            for fom, powers, delta, _worker in pool.map_ordered(task_p, corners):
                 if workspace is not None:
                     workspace.merge_solver_stats(delta)
                 results.append((fom, powers))

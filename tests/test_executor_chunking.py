@@ -1,0 +1,133 @@
+"""Property-based ordered-reduction invariance across executors.
+
+PR 4's determinism suite pinned fixed cases (one device, fixed corner
+counts, two worker counts).  These properties generalize it: for
+*random* item counts, chunkings and worker counts, an ordered map over
+any registered executor — serial, thread, process, and remote loopback
+workers — must reproduce the serial result list exactly.  The work
+items here are cheap pure arithmetic, so the properties isolate the
+*scheduling* contract (pre-assignment, work stealing, chunked pool
+dispatch, socket framing) from solver numerics, which the integration
+suites cover.
+
+Executors and loopback worker servers are built once per module and
+reused across hypothesis examples; ``derandomize=True`` keeps CI runs
+reproducible.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.executors import (
+    SerialExecutor,
+    make_executor,
+    resolve_worker_count,
+)
+from repro.core.remote import start_worker_subprocess
+
+SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Finite floats survive pickling and equality checks exactly.
+ITEMS = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    min_size=0,
+    max_size=32,
+)
+
+
+def _affine(x):
+    return 3.0 * x - 1.25
+
+
+_EXECUTORS: dict = {}
+_WORKERS: list = []
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One shared fleet for every example: pools fork once, remote
+    workers serve the whole module.  Explicitly requested (not autouse)
+    so a `-m "not remote"` selection — which still runs the pure-logic
+    properties below — never forks servers or pools."""
+    for _ in range(2):
+        _WORKERS.append(start_worker_subprocess())
+    addresses = [address for _proc, address in _WORKERS]
+    _EXECUTORS["serial"] = SerialExecutor()
+    for spec in ("thread:1", "thread:2", "thread:3", "process:2", "process:3"):
+        _EXECUTORS[spec] = make_executor(spec)
+    _EXECUTORS["remote:1worker"] = make_executor(
+        f"remote:{addresses[0][0]}:{addresses[0][1]}", remote_timeout=15.0
+    )
+    _EXECUTORS["remote:2workers"] = make_executor(
+        "remote:" + ",".join(f"{h}:{p}" for h, p in addresses),
+        remote_timeout=15.0,
+    )
+    yield
+    for ex in _EXECUTORS.values():
+        ex.shutdown()
+    _EXECUTORS.clear()
+    for proc, _address in _WORKERS:
+        proc.terminate()
+    _WORKERS.clear()
+
+
+@pytest.mark.remote
+@settings(**SETTINGS)
+@given(items=ITEMS)
+def test_ordered_reduction_invariant_across_executors(fleet, items):
+    """Same items, any executor/worker count -> the serial result list."""
+    expected = [_affine(x) for x in items]
+    for name, executor in _EXECUTORS.items():
+        assert executor.map_ordered(_affine, items) == expected, name
+
+
+@pytest.mark.remote
+@settings(**SETTINGS)
+@given(items=ITEMS, chunk=st.integers(min_value=1, max_value=9))
+def test_chunked_maps_concatenate_to_serial(fleet, items, chunk):
+    """Splitting one fan-out into arbitrary chunked map calls (the
+    Monte-Carlo block_chunk pattern) never changes the reduction."""
+    expected = [_affine(x) for x in items]
+    for name, executor in _EXECUTORS.items():
+        out = []
+        for start in range(0, len(items), chunk):
+            out.extend(
+                executor.map_ordered(_affine, items[start : start + chunk])
+            )
+        assert out == expected, name
+
+
+@settings(**SETTINGS)
+@given(
+    requested=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    n_items=st.integers(min_value=0, max_value=64),
+    available=st.integers(min_value=1, max_value=64),
+)
+def test_resolve_worker_count_properties(requested, n_items, available):
+    resolved = resolve_worker_count(requested, n_items, available)
+    if requested is not None:
+        assert resolved == requested
+    else:
+        assert resolved == max(1, min(n_items, available))
+        assert 1 <= resolved <= max(1, available)
+
+
+@pytest.mark.remote
+@settings(**SETTINGS)
+@given(items=st.lists(st.integers(0, 1000), min_size=2, max_size=24))
+def test_remote_scheduling_never_reorders(fleet, items):
+    """Work stealing moves items between workers, never within the
+    result list: index identity survives any schedule."""
+    executor = _EXECUTORS["remote:2workers"]
+    assert executor.map_ordered(_tag_with_value, items) == [
+        (x, x * x) for x in items
+    ]
+
+
+def _tag_with_value(x):
+    return (x, x * x)

@@ -35,7 +35,9 @@ from repro.core.executors import (
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    resolve_worker_count,
     stable_worker_token,
+    task_in_parent,
     worker_warm,
 )
 from repro.devices import make_device
@@ -81,7 +83,12 @@ class TestMakeExecutor:
             make_executor("thread:0")
 
     def test_registry_names(self):
-        assert set(EXECUTOR_BACKENDS) == {"serial", "thread", "process"}
+        assert set(EXECUTOR_BACKENDS) == {
+            "serial",
+            "thread",
+            "process",
+            "remote",
+        }
 
 
 class TestMapOrdered:
@@ -111,6 +118,96 @@ class TestMapOrdered:
         ex.shutdown()
         assert ex.map_ordered(_square, [4]) == [16]
         ex.shutdown()
+
+
+def _pid_of(_item):
+    return os.getpid()
+
+
+class TestWorkerAutoTuning:
+    """`process`/`remote` specs without a count pick min(n_items, available)."""
+
+    def test_resolution_rules(self):
+        assert resolve_worker_count(None, 8, 4) == 4
+        assert resolve_worker_count(None, 3, 16) == 3
+        assert resolve_worker_count(None, 0, 4) == 1  # floor at one
+        assert resolve_worker_count(5, 2, 1) == 5  # explicit always wins
+
+    def test_process_auto_resolves_to_item_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        ex = make_executor("process")
+        assert ex.max_workers is None
+        assert ex._resolve_workers(2) == 2
+        assert ex._resolve_workers(9) == 4
+
+    def test_explicit_count_not_auto_tuned(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        ex = make_executor("process:2")
+        assert ex._resolve_workers(9) == 2
+
+    def test_process_auto_runs_inline_on_one_core(self, monkeypatch):
+        """The 1-core inline-parent path: a lone forked worker would be
+        pure fork/pickle overhead, so the auto-tuned pool degenerates to
+        the parent loop — every result carries the parent's pid and no
+        pool is ever created."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        ex = make_executor("process")
+        assert ex.map_ordered(_pid_of, range(4)) == [os.getpid()] * 4
+        assert ex._pool is None
+        ex.shutdown()
+
+    def test_explicit_process_count_still_forks_on_one_core(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with make_executor("process:2") as ex:
+            pids = set(ex.map_ordered(_pid_of, range(4)))
+        assert os.getpid() not in pids
+
+    def test_live_pool_size_sticks_until_shutdown(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        ex = make_executor("thread")
+        ex.map_ordered(_square, range(6))
+        first = ex._pool_workers
+        ex.map_ordered(_square, range(2))
+        assert ex._pool_workers == first
+        ex.shutdown()
+        assert ex._pool_workers is None
+
+    def test_engine_auto_process_inline_matches_serial(self, monkeypatch, bend):
+        """On a single-core box `--executor process` (no count) is a
+        safe default: it degrades to the serial path bit for bit, with
+        no forked workers to pay for."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        serial = _run(bend, corner_executor="serial")
+        auto = _run(bend, corner_executor="process")
+        assert np.array_equal(serial.fom_trace(), auto.fom_trace())
+        assert np.array_equal(serial.pattern, auto.pattern)
+
+    def test_inline_auto_process_reports_no_worker_pids(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        device = make_device("bending")
+        opt = Boson1Optimizer(
+            device,
+            OptimizerConfig(iterations=1, seed=1, corner_executor="process"),
+        )
+        opt.run()
+        opt.close()
+        assert opt.observed_worker_pids == set()
+
+
+class TestWorkerTokenIdentity:
+    def test_token_identifies_minting_process(self):
+        import types
+
+        token = stable_worker_token(types.SimpleNamespace())
+        assert task_in_parent(token)
+
+    def test_bare_pid_prefix_is_not_mistaken_for_parent(self):
+        """Remote hosts can collide on pid; the per-process nonce in the
+        token prefix keeps task_in_parent from treating a foreign token
+        as local (which would silently skip warm-pooling and drop stats
+        deltas)."""
+        assert not task_in_parent(f"{os.getpid()}:0")
+        assert not task_in_parent(f"{os.getpid()}.deadbeef:0")
 
 
 class TestConfigValidation:
@@ -359,9 +456,11 @@ class TestProcessTapedFanout:
             1,
         )
         task2, items2 = pickle.loads(pickle.dumps((task, items)))
-        # The round-tripped task runs and its result pickles too.
+        # The round-tripped task runs and its result pickles too.  Run
+        # here in the minting parent it takes the inline path, which
+        # reports no worker pid (and an empty stats delta).
         summary, delta, pid = task2(items2[0])
-        assert pid == os.getpid()
+        assert pid is None
         assert isinstance(delta, dict)
         roundtrip = pickle.loads(pickle.dumps(summary))
         assert [s.direction for s in roundtrip.directions] == ["fwd"]
