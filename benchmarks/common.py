@@ -173,10 +173,11 @@ def run_config(
 
 def publish_report(name: str, text: str) -> None:
     """Print a benchmark table and persist it under ``results/``."""
+    from repro.utils.io import atomic_write_text
+
     print("\n" + text + "\n")
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n", fsync=False)
     WRITTEN_REPORTS.append(path)
 
 

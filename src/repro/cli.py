@@ -22,7 +22,7 @@ import numpy as np
 from repro import __version__
 from repro.baselines import BASELINE_REGISTRY, run_baseline
 from repro.core import Boson1Optimizer, OptimizerConfig
-from repro.core.remote import DEFAULT_REMOTE_TIMEOUT
+from repro.core.remote import DEFAULT_CONNECT_RETRIES, DEFAULT_REMOTE_TIMEOUT
 from repro.core.sampling import SAMPLING_STRATEGIES
 from repro.devices import DEVICE_REGISTRY, make_device
 from repro.eval import evaluate_ideal, evaluate_post_fab
@@ -91,6 +91,41 @@ task that *raises* is not resubmitted — the remote traceback surfaces
 locally.  the run fails only when every worker is gone.
 security: no auth/TLS yet — workers execute pickled task state, so
 bind them to trusted networks only (e.g. over an SSH tunnel or VPN).
+
+resuming and surviving crashes
+------------------------------
+checkpoints: `repro design ... --checkpoint-dir DIR` writes a
+crash-safe checkpoint every N iterations (--checkpoint-every, default
+1) plus a final one at run end.  each file lands via tmp file + fsync +
+atomic rename (a kill -9 leaves the previous complete checkpoint, never
+a torn one), is self-validating (magic, format version, payload
+digest), carries a JSON metadata sidecar, and only the newest K survive
+rotation (--checkpoint-keep, default 3).
+resume: `repro design ... --resume auto --checkpoint-dir DIR` continues
+from the newest *valid* checkpoint (corrupt files are skipped with a
+warning); `--resume PATH` loads one file directly, and continued
+checkpoints then default into that file's directory.  a checkpoint
+records theta, the Adam moments and step count, the RNG stream, sampler
+state, the relaxation-schedule position and the full iteration history,
+so a resumed run with an LU-backed solver (direct/batched) reproduces
+the uninterrupted trajectory bit-for-bit; krylov backends agree to
+solver precision.  mismatches are refused loudly: truncated or
+corrupted files, checkpoints from another format version, and any
+difference in a trajectory-shaping setting (sampling, seed, solver,
+relaxation, device, ...).  executor/worker/timeout/checkpoint knobs and
+the iteration horizon may differ freely — a resume can extend a run or
+move it to different hardware.
+graceful shutdown: with checkpointing enabled, SIGINT/SIGTERM let the
+current iteration finish, write a final checkpoint, and exit cleanly
+(a second signal aborts immediately).  `repro worker` handles
+SIGTERM/SIGINT by draining: in-flight tasks finish and their results
+reach the wire, then the accept loop closes and the process exits 0 —
+clients see a clean EOF and resubmit to surviving workers.
+degradation: if *every* remote worker dies mid-run, the driver writes a
+checkpoint (when enabled), logs each worker's failure, and finishes the
+run on the in-process serial executor instead of aborting; connect-time
+races (a worker still binding its socket) are retried with exponential
+backoff (--remote-connect-retries).
 """
 
 
@@ -142,6 +177,54 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_design.add_argument(
+        "--remote-connect-retries",
+        type=int,
+        default=DEFAULT_CONNECT_RETRIES,
+        metavar="N",
+        help=(
+            "remote executor only: connection attempts per worker "
+            "address, with exponential backoff + jitter between tries — "
+            "a worker still binding its socket becomes a short wait, not "
+            "a lost worker (default %(default)s)"
+        ),
+    )
+    p_design.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write crash-safe checkpoints into DIR (atomic rename + "
+            "fsync, rotated); also arms graceful SIGINT/SIGTERM shutdown "
+            "and fleet-loss checkpointing (see 'resuming and surviving "
+            "crashes' below)"
+        ),
+    )
+    p_design.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="iterations between checkpoints (default %(default)s)",
+    )
+    p_design.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        metavar="K",
+        help="rotated checkpoints kept on disk (default %(default)s)",
+    )
+    p_design.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH|auto",
+        help=(
+            "continue from a checkpoint: 'auto' picks the newest valid "
+            "one under --checkpoint-dir, a path loads that file (and "
+            "further checkpoints default into its directory); the "
+            "checkpoint must match this run's config/device digest"
+        ),
+    )
+    p_design.add_argument(
         "--solver",
         default="direct",
         metavar="BACKEND",
@@ -183,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "remote executor only: dead-worker detection bound in "
             "seconds (default %(default)s)"
+        ),
+    )
+    p_eval.add_argument(
+        "--remote-connect-retries",
+        type=int,
+        default=DEFAULT_CONNECT_RETRIES,
+        metavar="N",
+        help=(
+            "remote executor only: connection attempts per worker "
+            "address with exponential backoff (default %(default)s)"
         ),
     )
     p_eval.add_argument(
@@ -244,12 +337,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_design(args) -> int:
+    from repro.core.checkpoint import CheckpointError, resolve_resume
+
     device = make_device(args.device)
     relax = (
         args.relax_epochs
         if args.relax_epochs is not None
         else max(4, args.iterations // 3)
     )
+    checkpoint_dir = args.checkpoint_dir
+    resume_ckpt = None
+    if args.resume is not None:
+        try:
+            resume_path, resume_ckpt = resolve_resume(
+                args.resume, checkpoint_dir
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if checkpoint_dir is None:
+            # Resuming an explicit file without --checkpoint-dir keeps
+            # checkpointing where the resumed run left its files.
+            checkpoint_dir = str(resume_path.parent)
+        print(
+            f"resuming from {resume_path} "
+            f"(next iteration {resume_ckpt.next_iteration})"
+        )
     config = OptimizerConfig(
         iterations=args.iterations,
         sampling=args.sampling,
@@ -258,6 +371,10 @@ def _cmd_design(args) -> int:
         corner_executor=args.executor,
         solver=args.solver,
         remote_timeout=args.remote_timeout,
+        remote_connect_retries=args.remote_connect_retries,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
     )
     optimizer = Boson1Optimizer(device, config)
 
@@ -267,7 +384,19 @@ def _cmd_design(args) -> int:
             f"fom {record.fom:.4f}  p {record.p:.2f}"
         )
 
-    result = optimizer.run(callback=None if args.quiet else log)
+    try:
+        result = optimizer.run(
+            callback=None if args.quiet else log, resume=resume_ckpt
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.interrupted:
+        print(
+            "\ninterrupted by signal; final checkpoint written.  resume "
+            f"with: repro design {args.device} --resume auto "
+            f"--checkpoint-dir {checkpoint_dir}"
+        )
     print("\nfinal design:")
     print(ascii_pattern(result.pattern, max_width=48))
     payload = {
@@ -306,6 +435,7 @@ def _cmd_evaluate(args) -> int:
         device, process, pattern, n_samples=args.samples, seed=args.seed,
         executor=args.executor, block_chunk=args.block_chunk,
         remote_timeout=args.remote_timeout,
+        remote_connect_retries=args.remote_connect_retries,
     )
     better = "lower" if device.fom_lower_is_better else "higher"
     print(f"device          : {payload['device']} ({better} FoM is better)")
@@ -351,6 +481,7 @@ def _cmd_baseline(args) -> int:
 
 def _cmd_worker(args) -> int:
     import os
+    import signal
 
     from repro.core.remote import (
         PROTOCOL_VERSION,
@@ -372,6 +503,23 @@ def _cmd_worker(args) -> int:
         return 2
     host, port = addresses[0]
     server = RemoteWorkerServer(host, port)
+
+    def _graceful(signum, _frame):
+        # Drain instead of dying: stop accepting, let in-flight tasks
+        # finish and their result frames hit the wire, then exit 0.
+        # serve_forever does the waiting; this handler only flips the
+        # flag and unblocks accept(), so it is safe at signal time.
+        print(
+            f"repro worker pid {os.getpid()}: received "
+            f"{signal.Signals(signum).name}, draining in-flight tasks "
+            "before exit",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.request_graceful_shutdown()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _graceful)
     # The parseable startup line doubles as the port announcement for
     # --listen host:0 (tests and scripts scrape it).
     print(
@@ -385,6 +533,10 @@ def _cmd_worker(args) -> int:
         pass
     finally:
         server.shutdown()
+    print(
+        f"repro worker pid {os.getpid()}: drained, exiting cleanly",
+        flush=True,
+    )
     return 0
 
 

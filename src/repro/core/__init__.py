@@ -10,11 +10,22 @@
 * :mod:`repro.core.remote` — the same fan-out over TCP: worker servers
   (``repro worker``) plus the ``remote:host:port[,...]`` executor with
   dead-worker resubmission;
+* :mod:`repro.core.checkpoint` — crash-safe checkpoint/resume:
+  digest-guarded :class:`DesignCheckpoint` snapshots, atomic rotation,
+  graceful SIGINT/SIGTERM shutdown;
 * :mod:`repro.core.engine` — :class:`Boson1Optimizer`, the end-to-end
   inverse-design loop; every paper technique is a config flag so the
   Table II ablations are configuration-only.
 """
 
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    DesignCheckpoint,
+    GracefulShutdown,
+    find_latest_checkpoint,
+    resolve_resume,
+)
 from repro.core.config import OptimizerConfig
 from repro.core.engine import Boson1Optimizer, OptimizationResult
 from repro.core.executors import (
@@ -37,6 +48,12 @@ __all__ = [
     "OptimizerConfig",
     "Boson1Optimizer",
     "OptimizationResult",
+    "DesignCheckpoint",
+    "CheckpointManager",
+    "CheckpointError",
+    "GracefulShutdown",
+    "find_latest_checkpoint",
+    "resolve_resume",
     "CornerExecutor",
     "SerialExecutor",
     "ThreadExecutor",

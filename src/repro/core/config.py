@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.remote import DEFAULT_REMOTE_TIMEOUT, parse_worker_addresses
+from repro.core.remote import (
+    DEFAULT_CONNECT_RETRIES,
+    DEFAULT_REMOTE_TIMEOUT,
+    parse_worker_addresses,
+)
 from repro.fdfd.linalg import SolverConfig
 
 __all__ = ["OptimizerConfig", "SolverConfig"]
@@ -90,6 +94,25 @@ class OptimizerConfig:
         executor: the longest a worker may stay silent — no result, no
         heartbeat — before its work is resubmitted to survivors.
         Ignored by in-process executors.
+    remote_connect_retries:
+        Connection attempts per worker address when the ``remote``
+        executor first dials the fleet.  Failed attempts back off
+        exponentially with jitter, so a worker still binding its
+        listen socket does not fail the whole run.  Ignored by
+        in-process executors.
+    checkpoint_dir:
+        Directory for crash-safe :class:`~repro.core.checkpoint.
+        DesignCheckpoint` files; ``None`` (the default) disables
+        checkpointing.  With a directory set, SIGINT/SIGTERM finish
+        the current iteration, write a final checkpoint, and return
+        cleanly.  (A fully-dead remote fleet degrades to serial
+        execution either way; with a directory set it also checkpoints
+        first.)
+    checkpoint_every:
+        Iterations between periodic checkpoints (a final checkpoint is
+        always written at run end when checkpointing is enabled).
+    checkpoint_keep:
+        How many rotated checkpoints to keep on disk.
     simulation_cache:
         Route solves through the shared
         :class:`~repro.fdfd.workspace.SimulationWorkspace` (cached
@@ -137,6 +160,10 @@ class OptimizerConfig:
     corner_executor: str = "serial"
     executor_workers: int | None = None
     remote_timeout: float = DEFAULT_REMOTE_TIMEOUT
+    remote_connect_retries: int = DEFAULT_CONNECT_RETRIES
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    checkpoint_keep: int = 3
     simulation_cache: bool = True
     solver: SolverConfig | str | None = None
 
@@ -180,6 +207,19 @@ class OptimizerConfig:
             raise ValueError(
                 f"remote_timeout must be positive (seconds), got "
                 f"{self.remote_timeout}"
+            )
+        if self.remote_connect_retries < 1:
+            raise ValueError(
+                "remote_connect_retries must be >= 1, got "
+                f"{self.remote_connect_retries}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
             )
 
     @property

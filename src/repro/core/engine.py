@@ -13,13 +13,21 @@ switches; see that module for the ablation mapping.
 from __future__ import annotations
 
 import functools
+import logging
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from repro.autodiff import Tensor
+from repro.core.checkpoint import (
+    CheckpointManager,
+    DesignCheckpoint,
+    GracefulShutdown,
+    config_digest,
+)
 from repro.core.config import OptimizerConfig
 from repro.core.executors import (
     SerialExecutor,
@@ -31,6 +39,7 @@ from repro.core.executors import (
 from repro.core.objective import build_loss, radiation_power
 from repro.core.optimizer import Adam
 from repro.core.relaxation import RelaxationSchedule
+from repro.core.remote import RemoteFleetDead
 from repro.core.sampling import AxialPlusWorstSampling, make_sampling_strategy
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
@@ -45,9 +54,11 @@ from repro.params.initializers import (
     rasterize_segments,
     theta_from_pattern,
 )
-from repro.utils.seeding import rng_from_seed
+from repro.utils.seeding import get_rng_state, rng_from_seed, set_rng_state
 
 __all__ = ["Boson1Optimizer", "OptimizationResult", "IterationRecord"]
+
+log = logging.getLogger("repro.engine")
 
 
 class _CornerWorkerState:
@@ -122,6 +133,9 @@ class OptimizationResult:
     config: OptimizerConfig
     device_name: str
     final_loss: float = field(default=float("nan"))
+    #: True when the run stopped early on a graceful-shutdown signal
+    #: (the final checkpoint then holds everything needed to resume).
+    interrupted: bool = field(default=False)
 
     @property
     def iterations_run(self) -> int:
@@ -191,6 +205,7 @@ class Boson1Optimizer:
             self.config.corner_executor,
             self.config.executor_workers,
             remote_timeout=self.config.remote_timeout,
+            remote_connect_retries=self.config.remote_connect_retries,
         )
         #: Distinct worker identities (``pid.nonce`` strings, distinct
         #: even across hosts with colliding pids) seen by the
@@ -591,6 +606,7 @@ class Boson1Optimizer:
         self,
         iterations: int | None = None,
         callback: Callable[[IterationRecord], None] | None = None,
+        resume: "DesignCheckpoint | str | Path | None" = None,
     ) -> OptimizationResult:
         """Optimize and return the trajectory + final design.
 
@@ -600,45 +616,177 @@ class Boson1Optimizer:
             Override of ``config.iterations``.
         callback:
             Called with each :class:`IterationRecord` (for live logging).
+        resume:
+            A :class:`~repro.core.checkpoint.DesignCheckpoint` (or a
+            path to one) to continue from.  The checkpoint's config
+            digest and device name must match this optimizer
+            (:meth:`DesignCheckpoint.verify_against` raises otherwise);
+            theta, Adam moments, RNG stream, sampler state, solver
+            epoch, and the recorded history are restored, and for
+            LU-backed solver backends the continued trajectory is
+            bitwise-identical to the uninterrupted one.
+
+        With ``config.checkpoint_dir`` set, the loop writes crash-safe
+        checkpoints every ``config.checkpoint_every`` iterations (plus a
+        final one), SIGINT/SIGTERM finish the current iteration and
+        checkpoint before returning (``result.interrupted`` is then
+        True), and a fully-dead remote fleet checkpoints, logs the
+        per-worker failures, and degrades to serial execution instead of
+        aborting the run (degradation happens with or without
+        checkpointing).
         """
         n_iter = iterations if iterations is not None else self.config.iterations
         adam = Adam(lr=self.config.effective_lr)
         theta = np.array(self.theta, dtype=np.float64)
         history: list[IterationRecord] = []
-        final_loss = float("nan")
+        start = 0
+        if resume is not None:
+            if not isinstance(resume, DesignCheckpoint):
+                resume = DesignCheckpoint.load(resume)
+            theta, start = self._apply_checkpoint(resume, adam, history)
+        manager = None
+        if self.config.checkpoint_dir is not None:
+            manager = CheckpointManager(
+                self.config.checkpoint_dir,
+                every=self.config.checkpoint_every,
+                keep=self.config.checkpoint_keep,
+            )
 
         try:
             return self._run_loop(
-                n_iter, adam, theta, history, final_loss, callback
+                start, n_iter, adam, theta, history, callback, manager
             )
         finally:
             # Pools are re-created lazily, so releasing workers here
             # keeps the optimizer reusable while never leaking threads.
             self.executor.shutdown()
 
-    def _run_loop(self, n_iter, adam, theta, history, final_loss, callback):
-        for it in range(n_iter):
-            theta_t = Tensor(theta, requires_grad=True)
-            loss, nominal_powers, n_corners = self.loss(theta_t, it)
-            loss.backward()
-            grad = (
-                theta_t.grad
-                if theta_t.grad is not None
-                else np.zeros_like(theta)
-            )
-            record = IterationRecord(
-                iteration=it,
-                loss=loss.item(),
-                p=self.schedule.p(it) if self.config.use_fab else 0.0,
-                n_corners=n_corners,
-                fom=self.device.fom(nominal_powers),
-                powers=nominal_powers,
-            )
-            history.append(record)
-            if callback is not None:
-                callback(record)
-            theta = adam.step(theta, grad)
-            final_loss = record.loss
+    # ------------------------------------------------------------------ #
+    # Checkpoint seam                                                    #
+    # ------------------------------------------------------------------ #
+    def _make_checkpoint(
+        self,
+        next_iteration: int,
+        theta: np.ndarray,
+        adam: Adam,
+        history: "list[IterationRecord]",
+    ) -> DesignCheckpoint:
+        """Snapshot the loop state *between* iterations.
+
+        Called with the post-step theta/Adam/RNG of the iteration just
+        completed, so a resume replays the remaining iterations exactly
+        as the uninterrupted run would have executed them.
+        """
+        return DesignCheckpoint(
+            config_digest=config_digest(self.config, self.device.name),
+            device_name=self.device.name,
+            next_iteration=int(next_iteration),
+            theta=np.array(theta, dtype=np.float64),
+            adam_state=adam.state_dict(),
+            rng_state=get_rng_state(self.rng),
+            sampler_state=self.sampler.state_dict(),
+            solver_epoch=self._solver_epoch,
+            history=list(history),
+        )
+
+    def _apply_checkpoint(
+        self,
+        ckpt: DesignCheckpoint,
+        adam: Adam,
+        history: "list[IterationRecord]",
+    ) -> "tuple[np.ndarray, int]":
+        """Restore a verified checkpoint into the live loop state."""
+        ckpt.verify_against(self.config, self.device.name)
+        adam.load_state_dict(ckpt.adam_state)
+        set_rng_state(self.rng, ckpt.rng_state)
+        self.sampler.load_state_dict(ckpt.sampler_state)
+        self._solver_epoch = int(ckpt.solver_epoch)
+        history.extend(ckpt.history)
+        log.info(
+            "resuming %s from iteration %d (%d iterations recorded)",
+            self.device.name,
+            ckpt.next_iteration,
+            len(ckpt.history),
+        )
+        return np.array(ckpt.theta, dtype=np.float64), int(ckpt.next_iteration)
+
+    def _degrade_to_serial(self, exc: RemoteFleetDead) -> None:
+        """Swap the dead remote fleet for in-process serial execution."""
+        for failure in exc.worker_failures or ["no failure detail recorded"]:
+            log.error("remote worker failure: %s", failure)
+        log.warning(
+            "the entire remote fleet is dead; degrading to the serial "
+            "executor to finish the run in-process (items lost "
+            "mid-iteration: %s)",
+            exc.missing or "none",
+        )
+        try:
+            self.executor.shutdown()
+        except Exception:
+            pass  # the fleet is already gone; nothing worth keeping
+        self.executor = SerialExecutor()
+
+    def _run_loop(self, start, n_iter, adam, theta, history, callback, manager):
+        final_loss = history[-1].loss if history else float("nan")
+        interrupted = False
+        with GracefulShutdown(enabled=manager is not None) as stop:
+            it = start
+            while it < n_iter:
+                # Snapshot the RNG before the iteration: if the remote
+                # fleet dies mid-fan-out, the retried iteration must
+                # replay the same corner draws, not advance the stream
+                # twice — and a degradation checkpoint must describe the
+                # state *before* the lost iteration.
+                rng_before = get_rng_state(self.rng)
+                theta_t = Tensor(theta, requires_grad=True)
+                try:
+                    loss, nominal_powers, n_corners = self.loss(theta_t, it)
+                except RemoteFleetDead as exc:
+                    set_rng_state(self.rng, rng_before)
+                    if manager is not None:
+                        manager.save(
+                            self._make_checkpoint(it, theta, adam, history)
+                        )
+                    self._degrade_to_serial(exc)
+                    continue  # retry the same iteration in-process
+                loss.backward()
+                grad = (
+                    theta_t.grad
+                    if theta_t.grad is not None
+                    else np.zeros_like(theta)
+                )
+                record = IterationRecord(
+                    iteration=it,
+                    loss=loss.item(),
+                    p=self.schedule.p(it) if self.config.use_fab else 0.0,
+                    n_corners=n_corners,
+                    fom=self.device.fom(nominal_powers),
+                    powers=nominal_powers,
+                )
+                history.append(record)
+                if callback is not None:
+                    callback(record)
+                theta = adam.step(theta, grad)
+                final_loss = record.loss
+                it += 1
+                if manager is not None and (
+                    stop.requested
+                    or it == n_iter
+                    or manager.should_save(it)
+                ):
+                    manager.save(
+                        self._make_checkpoint(it, theta, adam, history)
+                    )
+                if stop.requested:
+                    interrupted = True
+                    log.warning(
+                        "graceful shutdown: stopped after iteration %d "
+                        "of %d; resume with the checkpoint in %s",
+                        it - 1,
+                        n_iter,
+                        manager.directory if manager is not None else "?",
+                    )
+                    break
 
         self.theta = theta
         return OptimizationResult(
@@ -648,4 +796,5 @@ class Boson1Optimizer:
             config=self.config,
             device_name=self.device.name,
             final_loss=final_loss,
+            interrupted=interrupted,
         )

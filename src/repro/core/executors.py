@@ -387,6 +387,7 @@ def _remote_factory(
     address_spec: str,
     max_workers: int | None = None,
     remote_timeout: float | None = None,
+    remote_connect_retries: int | None = None,
 ) -> CornerExecutor:
     """Build a :class:`repro.core.remote.RemoteCornerExecutor`.
 
@@ -397,7 +398,10 @@ def _remote_factory(
     from repro.core.remote import RemoteCornerExecutor
 
     return RemoteCornerExecutor(
-        address_spec, timeout=remote_timeout, max_workers=max_workers
+        address_spec,
+        timeout=remote_timeout,
+        max_workers=max_workers,
+        connect_retries=remote_connect_retries,
     )
 
 
@@ -416,6 +420,7 @@ def make_executor(
     spec: "str | CornerExecutor | None",
     max_workers: int | None = None,
     remote_timeout: float | None = None,
+    remote_connect_retries: int | None = None,
 ) -> CornerExecutor:
     """Build an executor from a backend spec.
 
@@ -435,6 +440,10 @@ def make_executor(
         Dead-worker detection bound in seconds for the ``remote``
         backend (CLI ``--remote-timeout``); ignored by the in-process
         backends.
+    remote_connect_retries:
+        Connection attempts per worker address for the ``remote``
+        backend (CLI ``--remote-connect-retries``); ignored by the
+        in-process backends.
     """
     if spec is None:
         return SerialExecutor()
@@ -448,7 +457,10 @@ def make_executor(
                 "remote:host:port[,host:port...]"
             )
         return _remote_factory(
-            rest, max_workers=max_workers, remote_timeout=remote_timeout
+            rest,
+            max_workers=max_workers,
+            remote_timeout=remote_timeout,
+            remote_connect_retries=remote_connect_retries,
         )
     if rest:
         try:

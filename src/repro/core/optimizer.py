@@ -66,3 +66,35 @@ class Adam:
         self._m = None
         self._v = None
         self._t = 0
+
+    def state_dict(self) -> dict:
+        """Checkpointable snapshot: moments, step count, hyper-parameters.
+
+        Arrays are copied, so later :meth:`step` calls cannot mutate a
+        snapshot already captured into a checkpoint.
+        """
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "m": None if self._m is None else self._m.copy(),
+            "v": None if self._v is None else self._v.copy(),
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-exactly.
+
+        Hyper-parameters are restored too: a resumed run must take the
+        same steps the uninterrupted one would have, whatever this
+        instance was constructed with.
+        """
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        m, v = state["m"], state["v"]
+        self._m = None if m is None else np.array(m, dtype=np.float64)
+        self._v = None if v is None else np.array(v, dtype=np.float64)
+        self._t = int(state["t"])

@@ -45,14 +45,23 @@ trajectory.  On top of the framing:
 
 Failure semantics
 -----------------
-Worker death (socket EOF, refused reconnect, heartbeat silence) is
-survivable: the dying worker's queued and in-flight items are resubmitted
-to surviving workers, and because every item is a pure function of its
-payload the final ordered reduction is unchanged — for LU-backed solver
-backends, bitwise.  A task that *raises* on a worker is not resubmitted
-(it would raise identically everywhere); the remote traceback surfaces
-in the parent as :class:`RemoteTaskError`.  Only when every worker is
-dead does the fan-out raise, listing each worker's failure.
+First contact retries: dialing a worker that refuses or resets the
+connection (typically one still binding its listen socket) is retried
+with exponential backoff and jitter (``--remote-connect-retries``)
+before the worker is written off.  Worker death after that (socket EOF,
+refused reconnect, heartbeat silence) is survivable: the dying worker's
+queued and in-flight items are resubmitted to surviving workers, and
+because every item is a pure function of its payload the final ordered
+reduction is unchanged — for LU-backed solver backends, bitwise.  A task
+that *raises* on a worker is not resubmitted (it would raise identically
+everywhere); the remote traceback surfaces in the parent as
+:class:`RemoteTaskError`.  Only when every worker is dead does the
+fan-out raise :class:`RemoteFleetDead`, listing each worker's failure —
+the engine catches exactly that to checkpoint and degrade to in-process
+execution instead of aborting the run.  On the worker side,
+SIGTERM/SIGINT (``repro worker``) trigger a graceful drain: the accept
+loop closes, in-flight tasks finish and their result frames reach the
+wire, then the process exits 0.
 
 No authentication or transport encryption yet: run workers on trusted
 networks only (the seeded closures are arbitrary pickles).  See the
@@ -65,9 +74,11 @@ import hashlib
 import io
 import os
 import pickle
+import random
 import socket
 import struct
 import threading
+import time
 import traceback
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -78,9 +89,11 @@ from repro.core.executors import CornerExecutor, resolve_worker_count
 __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_REMOTE_TIMEOUT",
+    "DEFAULT_CONNECT_RETRIES",
     "RemoteProtocolError",
     "RemoteTaskError",
     "RemoteWorkerDied",
+    "RemoteFleetDead",
     "FaultInjection",
     "RemoteWorkerServer",
     "RemoteCornerExecutor",
@@ -96,6 +109,18 @@ PROTOCOL_VERSION = 1
 #: result, no ``busy`` heartbeat — the client tolerates before declaring
 #: a worker dead and resubmitting its work.  CLI ``--remote-timeout``.
 DEFAULT_REMOTE_TIMEOUT = 30.0
+
+#: Connection attempts per worker address at checkout time.  A worker
+#: still binding its listen socket (fleet and driver launched together)
+#: refuses the first dial; retrying with backoff turns that race into a
+#: short wait instead of a lost worker.  CLI ``--remote-connect-retries``.
+DEFAULT_CONNECT_RETRIES = 3
+
+#: Exponential-backoff schedule between connect attempts: base doubles
+#: per retry, capped, with multiplicative jitter in [0.5, 1.5) so a
+#: driver dialing many workers does not retry them in lockstep.
+_CONNECT_BACKOFF_BASE = 0.1
+_CONNECT_BACKOFF_CAP = 2.0
 
 #: 8-byte payload length + 16-byte BLAKE2b payload digest.
 _FRAME_HEADER = struct.Struct(">Q16s")
@@ -118,6 +143,26 @@ class RemoteTaskError(RuntimeError):
 
 class RemoteWorkerDied(RuntimeError):
     """Connection lost or heartbeat silence; work is resubmitted."""
+
+
+class RemoteFleetDead(RuntimeError):
+    """Every remote worker died before the fan-out completed.
+
+    Carries the per-worker failure detail (``worker_failures``) and the
+    indices of the items left unfinished (``missing``) so the engine's
+    degradation path can log exactly what was lost before falling back
+    to an in-process executor.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_failures: "Sequence[str]" = (),
+        missing: "Sequence[int]" = (),
+    ):
+        super().__init__(message)
+        self.worker_failures = list(worker_failures)
+        self.missing = list(missing)
 
 
 def _digest(payload: bytes) -> bytes:
@@ -262,25 +307,70 @@ class RemoteWorkerServer:
         self._connections: "set[socket.socket]" = set()
         self._tasks_seen = 0
         self._closed = False
+        self._draining = False
+        self._in_flight = 0
+        self._drained = threading.Condition(self._lock)
 
     @property
     def address(self) -> "tuple[str, int]":
         return (self.host, self.port)
 
     def serve_forever(self) -> None:
-        """Accept connections until :meth:`shutdown` (or fault death)."""
+        """Accept connections until :meth:`shutdown` (or fault death).
+
+        After :meth:`request_graceful_shutdown` the accept loop ends,
+        in-flight tasks are drained — every started task finishes and
+        its result frame reaches the wire — and only then do the
+        connections close and this method return.
+        """
         try:
             while not self._closed:
                 try:
                     conn, _peer = self._listener.accept()
                 except OSError:
-                    break  # listener closed by shutdown()/_die()
+                    break  # listener closed by shutdown()/drain/_die()
                 thread = threading.Thread(
                     target=self._handle, args=(conn,), daemon=True
                 )
                 thread.start()
         finally:
+            if self._draining and not self._closed:
+                self.wait_drained()
             self.shutdown()
+
+    def request_graceful_shutdown(self) -> None:
+        """Begin a graceful stop; safe to call from a signal handler.
+
+        Only sets the drain flag and closes the listener (unblocking the
+        accept loop); :meth:`serve_forever` then waits for in-flight
+        tasks to finish before closing connections and returning.  The
+        CLI wires SIGTERM/SIGINT here so a worker being decommissioned
+        hands its last results back instead of dropping them — clients
+        see a clean EOF afterwards and treat the worker as departed.
+        """
+        self._draining = True
+        self._close_listener()
+
+    def _close_listener(self) -> None:
+        # shutdown() before close(): closing an fd another thread is
+        # blocked in accept(2) on does NOT wake that thread on Linux;
+        # shutting the listening socket down does (accept returns
+        # EINVAL/ECONNABORTED immediately).
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected / already closed (ENOTCONN, EBADF)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until no task is executing; True if drained in time."""
+        with self._drained:
+            return self._drained.wait_for(
+                lambda: self._in_flight == 0, timeout=timeout
+            )
 
     def serve_in_thread(self) -> threading.Thread:
         """Run the accept loop in a daemon thread (in-process tests)."""
@@ -290,10 +380,7 @@ class RemoteWorkerServer:
 
     def shutdown(self) -> None:
         self._closed = True
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        self._close_listener()
         with self._lock:
             connections = list(self._connections)
             self._connections.clear()
@@ -491,44 +578,59 @@ class RemoteWorkerServer:
             except BaseException:
                 box["error"] = traceback.format_exc()
 
-        worker = threading.Thread(target=run, daemon=True)
-        worker.start()
-        while True:
-            worker.join(heartbeat)
-            if not worker.is_alive():
-                break
-            # Liveness while the solve runs: the client resets its death
-            # timer on any frame, so long tasks survive short timeouts.
-            send_frame(conn, {"kind": "busy"})
-        if "error" in box:
-            send_frame(
-                conn, {"kind": "result", "ok": False, "error": box["error"]}
-            )
-            return True
+        # Drain accounting brackets the whole execute-and-reply span:
+        # the graceful-shutdown wait releases only after the result
+        # frame has hit the wire, so a decommissioned worker never
+        # swallows a finished solve.
+        with self._drained:
+            self._in_flight += 1
         try:
-            send_frame(
-                conn, {"kind": "result", "ok": True, "value": box["value"]}
-            )
-        except OSError:
-            raise  # the socket itself failed; the client handles death
-        except Exception as exc:
-            # An unpicklable result is a *task* defect, not a dead
-            # worker: send_frame pickles before writing, so nothing hit
-            # the wire yet and a clean error-result frame can follow —
-            # the client raises RemoteTaskError once instead of
-            # "resubmitting" the same failure around the whole fleet.
-            send_frame(
-                conn,
-                {
-                    "kind": "result",
-                    "ok": False,
-                    "error": (
-                        f"task result could not be serialized for the "
-                        f"reply: {exc!r}"
-                    ),
-                },
-            )
-        return True
+            worker = threading.Thread(target=run, daemon=True)
+            worker.start()
+            while True:
+                worker.join(heartbeat)
+                if not worker.is_alive():
+                    break
+                # Liveness while the solve runs: the client resets its
+                # death timer on any frame, so long tasks survive short
+                # timeouts.
+                send_frame(conn, {"kind": "busy"})
+            if "error" in box:
+                send_frame(
+                    conn,
+                    {"kind": "result", "ok": False, "error": box["error"]},
+                )
+                return True
+            try:
+                send_frame(
+                    conn,
+                    {"kind": "result", "ok": True, "value": box["value"]},
+                )
+            except OSError:
+                raise  # the socket itself failed; the client handles death
+            except Exception as exc:
+                # An unpicklable result is a *task* defect, not a dead
+                # worker: send_frame pickles before writing, so nothing
+                # hit the wire yet and a clean error-result frame can
+                # follow — the client raises RemoteTaskError once instead
+                # of "resubmitting" the same failure around the whole
+                # fleet.
+                send_frame(
+                    conn,
+                    {
+                        "kind": "result",
+                        "ok": False,
+                        "error": (
+                            f"task result could not be serialized for the "
+                            f"reply: {exc!r}"
+                        ),
+                    },
+                )
+            return True
+        finally:
+            with self._drained:
+                self._in_flight -= 1
+                self._drained.notify_all()
 
 
 def start_worker_subprocess(
@@ -800,6 +902,7 @@ class RemoteCornerExecutor(CornerExecutor):
         addresses: "Sequence[tuple[str, int]] | str",
         timeout: float | None = None,
         max_workers: int | None = None,
+        connect_retries: int | None = None,
     ):
         if isinstance(addresses, str):
             addresses = parse_worker_addresses(addresses)
@@ -821,6 +924,15 @@ class RemoteCornerExecutor(CornerExecutor):
                 f"remote timeout must be positive, got {self.timeout}"
             )
         self.max_workers = max_workers
+        self.connect_retries = (
+            DEFAULT_CONNECT_RETRIES
+            if connect_retries is None
+            else int(connect_retries)
+        )
+        if self.connect_retries < 1:
+            raise ValueError(
+                f"connect_retries must be >= 1, got {self.connect_retries}"
+            )
         #: Remote worker pids observed answering handshakes (fan-out
         #: evidence for tests and the benchmark).
         self.observed_pids: "set[int]" = set()
@@ -838,11 +950,43 @@ class RemoteCornerExecutor(CornerExecutor):
             conn = self._connections.get(address)
         if conn is not None:
             return conn
-        conn = _WorkerConnection(address, self.timeout, self.heartbeat_interval)
+        conn = self._connect_with_retry(address)
         with self._lock:
             self._connections[address] = conn
         self.observed_pids.add(conn.pid)
         return conn
+
+    def _connect_with_retry(
+        self, address: "tuple[str, int]"
+    ) -> _WorkerConnection:
+        """Dial a worker, retrying transient failures with backoff.
+
+        Only :class:`RemoteWorkerDied` (refused/reset/silent — typically
+        a worker still binding its socket) is retried; protocol errors
+        (version skew, digest refusal) are systemic and surface
+        immediately.  Backoff doubles per attempt with jitter so a
+        driver dialing a whole fleet staggers its retries.
+        """
+        host, port = address
+        last_exc: RemoteWorkerDied | None = None
+        for attempt in range(self.connect_retries):
+            if attempt:
+                delay = min(
+                    _CONNECT_BACKOFF_CAP,
+                    _CONNECT_BACKOFF_BASE * (2 ** (attempt - 1)),
+                )
+                time.sleep(delay * (0.5 + random.random()))
+            try:
+                return _WorkerConnection(
+                    address, self.timeout, self.heartbeat_interval
+                )
+            except RemoteWorkerDied as exc:
+                last_exc = exc
+        raise RemoteWorkerDied(
+            f"worker {host}:{port} unreachable after "
+            f"{self.connect_retries} connection attempts "
+            f"(exponential backoff exhausted): {last_exc}"
+        ) from last_exc
 
     def _discard(self, address: "tuple[str, int]") -> None:
         with self._lock:
@@ -897,9 +1041,11 @@ class RemoteCornerExecutor(CornerExecutor):
         missing = state.missing()
         if missing:
             failures = "; ".join(state.worker_failures) or "no failure detail"
-            raise RuntimeError(
+            raise RemoteFleetDead(
                 f"all remote workers died before items {missing} completed "
-                f"(addresses {self.addresses}); worker failures: {failures}"
+                f"(addresses {self.addresses}); worker failures: {failures}",
+                worker_failures=state.worker_failures,
+                missing=missing,
             )
         return list(state.results)
 

@@ -79,6 +79,31 @@ class SamplingStrategy:
         per direction)."""
         return len(self.corners(0, np.random.default_rng(0)))
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint seam                                                    #
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Mutable sampler state for checkpoint/resume.
+
+        Every built-in strategy is a pure function of ``(iteration,
+        rng)`` — their randomness lives in the engine's generator, whose
+        bit-generator state the checkpoint captures separately — so the
+        default is empty.  Strategies that accumulate state across
+        iterations (e.g. an adaptive corner bank) override this pair so
+        a resumed run continues their stream instead of restarting it.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (no-op by default)."""
+        if state:
+            raise ValueError(
+                f"sampling strategy {self.name!r} was checkpointed with "
+                f"state keys {sorted(state)} but {type(self).__name__} "
+                "declares no mutable state; the checkpoint came from an "
+                "incompatible strategy implementation"
+            )
+
 
 class NominalSampling(SamplingStrategy):
     """No variation awareness (the "Nominal only" bar of Fig. 6a)."""

@@ -162,6 +162,7 @@ def evaluate_post_fab(
     executor: CornerExecutor | str | None = None,
     block_chunk: int = DEFAULT_BLOCK_CHUNK,
     remote_timeout: float | None = None,
+    remote_connect_retries: int | None = None,
 ) -> RobustnessReport:
     """Expected post-fabrication performance of a design pattern.
 
@@ -210,6 +211,11 @@ def evaluate_post_fab(
         Dead-worker detection bound (seconds) for ``remote`` executor
         specs; ignored otherwise.  ``None`` keeps the default
         (:data:`repro.core.remote.DEFAULT_REMOTE_TIMEOUT`).
+    remote_connect_retries:
+        Connection attempts per worker address for ``remote`` executor
+        specs (exponential backoff between tries); ignored otherwise.
+        ``None`` keeps the default
+        (:data:`repro.core.remote.DEFAULT_CONNECT_RETRIES`).
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
@@ -223,7 +229,11 @@ def evaluate_post_fab(
         for i in range(n_samples)
     ]
 
-    pool = make_executor(executor, remote_timeout=remote_timeout)
+    pool = make_executor(
+        executor,
+        remote_timeout=remote_timeout,
+        remote_connect_retries=remote_connect_retries,
+    )
     # In-process (serial/thread) task; the process and remote backends
     # route through _evaluate_sample_task below for worker warm-pooling
     # and stats merging.

@@ -147,6 +147,8 @@ def write_polygons(
     — is trivially parseable and converts to GDSII with any layout tool;
     the benchmark environment has no gdstk/gdspy to emit binary GDS.
     """
+    from repro.utils.io import atomic_write_text
+
     path = Path(path)
     lines = []
     for poly in polygons:
@@ -154,5 +156,4 @@ def write_polygons(
         for x, y in np.asarray(poly):
             lines.append(f"{x:.6f} {y:.6f}")
         lines.append("END")
-    path.write_text("\n".join(lines) + "\n")
-    return path
+    return atomic_write_text(path, "\n".join(lines) + "\n", fsync=False)
