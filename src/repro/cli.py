@@ -6,6 +6,7 @@ Commands
 ``evaluate``  — Monte-Carlo post-fab evaluation of a saved design.
 ``baseline``  — run one named prior-art method end-to-end.
 ``worker``    — serve this host's cores to remote corner fan-outs.
+``trace``     — inspect trace files written by ``--trace-dir`` runs.
 ``info``      — print device/benchmark inventory.
 
 Every command accepts ``--help``.  Results are saved as JSON (patterns
@@ -29,6 +30,7 @@ from repro.eval import evaluate_ideal, evaluate_post_fab
 from repro.eval.montecarlo import DEFAULT_BLOCK_CHUNK
 from repro.fab.process import FabricationProcess
 from repro.utils.io import load_result, save_result
+from repro.utils.logsetup import LOG_LEVELS, configure_logging
 from repro.utils.render import ascii_pattern
 
 __all__ = ["main", "build_parser"]
@@ -126,7 +128,66 @@ checkpoint (when enabled), logs each worker's failure, and finishes the
 run on the in-process serial executor instead of aborting; connect-time
 races (a worker still binding its socket) are retried with exponential
 backoff (--remote-connect-retries).
+
+observing a run
+---------------
+tracing: `repro design ... --trace-dir DIR` (also on `evaluate`) spans
+every hot layer — engine iterations, loss, dispatch, factorizations,
+krylov/blocked sweeps, remote frames, checkpoint writes — at
+near-zero overhead (a disabled span is one thread-local read).  DIR
+receives trace.jsonl (one record per iteration: spans + a metrics
+snapshot folding solver counters and cache hit rates) and summary.txt
+(per-phase wall-time breakdown); add `--trace-format jsonl,chrome` for
+trace_chrome.json, loadable in chrome://tracing or https://ui.perfetto.dev.
+spans cross process boundaries: process and remote workers bracket each
+task in a span capture and ship the span tree + metric deltas home with
+the result payload, where they are re-parented under the dispatching
+span — one connected trace per run, worker pids and all.
+metrics: `--metrics-every N` logs a counters/gauges snapshot every N
+iterations at info level (see --log-level).  remote workers piggyback
+queue depth, completed-task counts and RSS on their heartbeat frames;
+the parent publishes them as `remote.worker.HOST:PORT.*` gauges.
+summaries: `repro trace summarize DIR/trace.jsonl` (or the chrome file)
+prints calls / total / self / mean wall time per phase, widest first.
+logging: `repro --log-level debug <command>` configures logging once
+for every subcommand; worker subprocesses inherit the level through
+their spawn environment (REPRO_LOG_LEVEL).
 """
+
+
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    """Tracing/metrics flags shared by ``design`` and ``evaluate``."""
+    p.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write structured traces into DIR: trace.jsonl (per-"
+            "iteration spans + metrics snapshots) and summary.txt "
+            "(per-phase wall-time breakdown); see 'observing a run' "
+            "below"
+        ),
+    )
+    p.add_argument(
+        "--trace-format",
+        default="jsonl",
+        metavar="FMT[,FMT]",
+        help=(
+            "trace export formats (comma-separated): jsonl | chrome "
+            "(chrome adds trace_chrome.json for chrome://tracing / "
+            "Perfetto; default %(default)s)"
+        ),
+    )
+    p.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "log a counters/gauges snapshot every N iterations at info "
+            "level (0 disables; default %(default)s)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help=(
+            "logging level for every subcommand (default: "
+            "$REPRO_LOG_LEVEL or warning); worker subprocesses inherit "
+            "it through their spawn environment"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -245,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
             "solves (the block algorithm is always BiCGStab)."
         ),
     )
+    _add_observability_args(p_design)
 
     p_eval = sub.add_parser("evaluate", help="post-fab Monte-Carlo eval")
     p_eval.add_argument("result", help="JSON produced by `design`/`baseline`")
@@ -303,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
             "when warm)"
         ),
     )
+    _add_observability_args(p_eval)
 
     p_worker = sub.add_parser(
         "worker",
@@ -323,6 +396,24 @@ def build_parser() -> argparse.ArgumentParser:
             "bind address (default %(default)s; port 0 picks a free "
             "port, printed on startup)"
         ),
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect trace files written by --trace-dir runs",
+        description=(
+            "Post-process the trace files a `--trace-dir` run leaves "
+            "behind (trace.jsonl or trace_chrome.json)."
+        ),
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize",
+        help="per-phase wall-time breakdown of a trace file",
+    )
+    p_trace_sum.add_argument(
+        "file",
+        help="trace.jsonl or trace_chrome.json from a --trace-dir run",
     )
 
     p_base = sub.add_parser("baseline", help="run a named prior-art method")
@@ -375,6 +466,9 @@ def _cmd_design(args) -> int:
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         checkpoint_keep=args.checkpoint_keep,
+        trace_dir=args.trace_dir,
+        trace_format=args.trace_format,
+        metrics_every=args.metrics_every,
     )
     optimizer = Boson1Optimizer(device, config)
 
@@ -411,6 +505,8 @@ def _cmd_design(args) -> int:
     output = args.output or f"boson1_{args.device}_seed{args.seed}.json"
     path = save_result(payload, output)
     print(f"\nsaved to {path}")
+    if args.trace_dir is not None:
+        print(f"trace written to {args.trace_dir}")
     return 0
 
 
@@ -430,13 +526,45 @@ def _cmd_evaluate(args) -> int:
         pad=12,
     )
     pattern = np.asarray(payload["pattern"], dtype=np.float64)
-    pre, _ = evaluate_ideal(device, pattern)
-    report = evaluate_post_fab(
-        device, process, pattern, n_samples=args.samples, seed=args.seed,
-        executor=args.executor, block_chunk=args.block_chunk,
-        remote_timeout=args.remote_timeout,
-        remote_connect_retries=args.remote_connect_retries,
-    )
+    session = None
+    if args.trace_dir is not None:
+        from repro.obs import TraceSession
+
+        formats = tuple(
+            tok.strip() for tok in args.trace_format.split(",") if tok.strip()
+        )
+        session = TraceSession(args.trace_dir, formats or ("jsonl",))
+    try:
+        pre, _ = evaluate_ideal(device, pattern)
+        report = evaluate_post_fab(
+            device, process, pattern, n_samples=args.samples, seed=args.seed,
+            executor=args.executor, block_chunk=args.block_chunk,
+            remote_timeout=args.remote_timeout,
+            remote_connect_retries=args.remote_connect_retries,
+        )
+        if session is not None:
+            session.record(
+                "evaluate",
+                extra={
+                    "mean_fom": report.mean_fom,
+                    "samples": report.n_samples,
+                },
+                workspace=device.workspace,
+            )
+        if args.metrics_every:
+            import logging
+
+            from repro.obs.metrics import get_metrics
+
+            snap = get_metrics().snapshot(device.workspace)
+            logging.getLogger("repro.eval").info(
+                "metrics: counters=%s gauges=%s",
+                snap["counters"], snap["gauges"],
+            )
+    finally:
+        if session is not None:
+            session.close()
+            print(f"trace written to {args.trace_dir}")
     better = "lower" if device.fom_lower_is_better else "higher"
     print(f"device          : {payload['device']} ({better} FoM is better)")
     print(f"method          : {payload.get('method', '?')}")
@@ -540,6 +668,26 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.export import (
+        format_summary,
+        load_trace_records,
+        summarize_records,
+    )
+
+    try:
+        records = load_trace_records(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no spans in {args.file}")
+        return 0
+    print(format_summary(summarize_records(records)))
+    return 0
+
+
 def _cmd_info(_args) -> int:
     print("devices   :", ", ".join(sorted(DEVICE_REGISTRY)))
     print("methods   :", ", ".join(sorted(BASELINE_REGISTRY)))
@@ -549,11 +697,16 @@ def _cmd_info(_args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # One logging setup for every subcommand; configure_logging exports
+    # the resolved level to REPRO_LOG_LEVEL so worker subprocesses
+    # (process pools, `repro worker` spawns) inherit it.
+    configure_logging(args.log_level)
     handlers = {
         "design": _cmd_design,
         "evaluate": _cmd_evaluate,
         "baseline": _cmd_baseline,
         "worker": _cmd_worker,
+        "trace": _cmd_trace,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

@@ -48,6 +48,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
 from repro.utils.io import atomic_write_bytes, atomic_write_json
 
 __all__ = [
@@ -97,6 +99,9 @@ RUNTIME_ONLY_FIELDS = frozenset(
         "checkpoint_dir",
         "checkpoint_every",
         "checkpoint_keep",
+        "trace_dir",
+        "trace_format",
+        "metrics_every",
     }
 )
 
@@ -383,9 +388,11 @@ class CheckpointManager:
 
     def save(self, ckpt: DesignCheckpoint) -> Path:
         """Write ``ckpt`` crash-safely, then rotate old checkpoints."""
-        path = ckpt.save(self.path_for(ckpt.next_iteration))
-        self.last_path = path
-        self._rotate()
+        with span("checkpoint.save", "io", iteration=ckpt.next_iteration):
+            path = ckpt.save(self.path_for(ckpt.next_iteration))
+            self.last_path = path
+            self._rotate()
+        get_metrics().counter_add("checkpoint.saves")
         log.debug(
             "checkpoint written: %s (next iteration %d)",
             path,

@@ -113,6 +113,17 @@ class OptimizerConfig:
         always written at run end when checkpointing is enabled).
     checkpoint_keep:
         How many rotated checkpoints to keep on disk.
+    trace_dir:
+        Directory for :mod:`repro.obs` trace artifacts (``trace.jsonl``,
+        ``trace_chrome.json``, ``summary.txt``); ``None`` (the default)
+        disables tracing — span sites then cost a single ``None`` check.
+    trace_format:
+        Comma-separated subset of ``jsonl,chrome`` selecting which
+        trace artifacts a traced run writes (the text summary is always
+        written).  Ignored without ``trace_dir``.
+    metrics_every:
+        Log a metrics-registry snapshot every N iterations (0, the
+        default, disables periodic metrics logging).
     simulation_cache:
         Route solves through the shared
         :class:`~repro.fdfd.workspace.SimulationWorkspace` (cached
@@ -164,6 +175,9 @@ class OptimizerConfig:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     checkpoint_keep: int = 3
+    trace_dir: str | None = None
+    trace_format: str = "jsonl"
+    metrics_every: int = 0
     simulation_cache: bool = True
     solver: SolverConfig | str | None = None
 
@@ -221,6 +235,26 @@ class OptimizerConfig:
             raise ValueError(
                 f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
             )
+        self.trace_formats()  # validate trace_format tokens eagerly
+        if self.metrics_every < 0:
+            raise ValueError(
+                f"metrics_every must be >= 0, got {self.metrics_every}"
+            )
+
+    def trace_formats(self) -> "tuple[str, ...]":
+        """The parsed, validated ``trace_format`` tokens."""
+        from repro.obs.export import TRACE_FORMATS
+
+        tokens = tuple(
+            tok.strip() for tok in self.trace_format.split(",") if tok.strip()
+        )
+        unknown = set(tokens) - set(TRACE_FORMATS)
+        if not tokens or unknown:
+            raise ValueError(
+                "trace_format must be a comma-separated subset of "
+                f"{','.join(TRACE_FORMATS)!r}, got {self.trace_format!r}"
+            )
+        return tokens
 
     @property
     def effective_lr(self) -> float:

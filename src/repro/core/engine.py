@@ -43,6 +43,9 @@ from repro.core.remote import RemoteFleetDead
 from repro.core.sampling import AxialPlusWorstSampling, make_sampling_strategy
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
+from repro.obs.export import TraceSession
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer, span, tracing_active
 from repro.fab.litho import GaussianLithography
 from repro.fab.process import FabricationProcess
 from repro.fab.temperature import alpha_of_temperature
@@ -84,13 +87,16 @@ class _CornerWorkerState:
         return self.device.solve_forward_summary(rho_fab, alpha_bg)
 
 
-def _corner_forward_task(token, device, epoch, item):
+def _corner_forward_task(token, device, epoch, capture, item):
     """One forward-replay task (module-level so process pools can pickle).
 
     ``item`` is a pickle-clean ``(alpha_bg, rho_fab array)`` pair; the
     result is ``(ForwardSolveSummary, solver-stats delta, worker
-    identity)``.  The identity rides along as evidence that workers actually ran
-    (asserted by tests and recorded by the benchmark).  The warm-pool /
+    identity, obs payload)``.  The identity rides along as evidence that
+    workers actually ran (asserted by tests and recorded by the
+    benchmark); the obs payload (span tree + metric deltas, only when
+    the parent's tracing was active at dispatch — ``capture`` is baked
+    into the pickled partial) rides the same seam home.  The warm-pool /
     stats-delta / inline-parent protocol lives in
     :func:`repro.core.executors.run_warm_task`; the inline variant
     skips the epoch reset (the parent manages its own epochs).
@@ -104,6 +110,7 @@ def _corner_forward_task(token, device, epoch, item):
         inline_task=lambda state: state.device.solve_forward_summary(
             rho_fab, alpha_bg
         ),
+        capture_obs=capture,
     )
 
 
@@ -347,7 +354,8 @@ class Boson1Optimizer:
         rho_fabs = [self.process.apply(rho, corner) for corner in corners]
         if include_ideal:
             rho_fabs.append(rho)
-        powers_list = self.device.port_powers_corners(rho_fabs, alphas)
+        with span("engine.block_corners", "engine", corners=len(alphas)):
+            powers_list = self.device.port_powers_corners(rho_fabs, alphas)
         if powers_list is None:
             return None
         results = [
@@ -395,15 +403,22 @@ class Boson1Optimizer:
             stable_worker_token(self.device, ":design"),
             self.device,
             self._solver_epoch,
+            tracing_active(),
         )
         items = [
             (alpha, np.asarray(fab.data, dtype=np.float64))
             for alpha, fab in zip(alphas, rho_fabs)
         ]
-        outcomes = self.executor.map_ordered(task, items)
+        with span(
+            "engine.dispatch", "engine",
+            backend=self.executor.name, corners=len(items),
+        ) as dispatch:
+            outcomes = self.executor.map_ordered(task, items)
+        tracer = get_tracer()
+        metrics = get_metrics()
         workspace = self.device.workspace
         results = []
-        for (summary, stats_delta, worker), rho_fab, alpha in zip(
+        for (summary, stats_delta, worker, obs), rho_fab, alpha in zip(
             outcomes, rho_fabs, alphas
         ):
             if worker is not None:
@@ -412,6 +427,13 @@ class Boson1Optimizer:
                 # worker — the pid.nonce form stays distinct even
                 # across hosts whose pids collide.
                 self.observed_worker_pids.add(worker)
+            if obs is not None:
+                # Worker span trees graft under this fan-out's dispatch
+                # span — one connected timeline across the fleet — and
+                # worker metric deltas merge like stats deltas.
+                if tracer is not None:
+                    tracer.adopt(obs.get("spans", []), dispatch.span_id)
+                metrics.merge_delta(obs.get("metrics"))
             if workspace is not None:
                 workspace.merge_solver_stats(stats_delta)
             powers = self.device.port_powers_precomputed(
@@ -449,6 +471,10 @@ class Boson1Optimizer:
         the number the loss actually averaged over (0 when ``use_fab``
         is off).
         """
+        with span("engine.loss", "engine", iteration=iteration):
+            return self._loss_impl(theta_t, iteration)
+
+    def _loss_impl(self, theta_t, iteration):
         if self.device.workspace is not None:
             # New iteration, new pattern: refresh the Krylov
             # preconditioner anchors so the nominal corner — the first
@@ -651,12 +677,20 @@ class Boson1Optimizer:
                 every=self.config.checkpoint_every,
                 keep=self.config.checkpoint_keep,
             )
+        session = None
+        if self.config.trace_dir is not None:
+            session = TraceSession(
+                self.config.trace_dir, self.config.trace_formats()
+            )
 
         try:
             return self._run_loop(
-                start, n_iter, adam, theta, history, callback, manager
+                start, n_iter, adam, theta, history, callback, manager,
+                session,
             )
         finally:
+            if session is not None:
+                session.close()
             # Pools are re-created lazily, so releasing workers here
             # keeps the optimizer reusable while never leaking threads.
             self.executor.shutdown()
@@ -726,7 +760,8 @@ class Boson1Optimizer:
             pass  # the fleet is already gone; nothing worth keeping
         self.executor = SerialExecutor()
 
-    def _run_loop(self, start, n_iter, adam, theta, history, callback, manager):
+    def _run_loop(self, start, n_iter, adam, theta, history, callback,
+                  manager, session=None):
         final_loss = history[-1].loss if history else float("nan")
         interrupted = False
         with GracefulShutdown(enabled=manager is not None) as stop:
@@ -739,36 +774,54 @@ class Boson1Optimizer:
                 # state *before* the lost iteration.
                 rng_before = get_rng_state(self.rng)
                 theta_t = Tensor(theta, requires_grad=True)
-                try:
-                    loss, nominal_powers, n_corners = self.loss(theta_t, it)
-                except RemoteFleetDead as exc:
-                    set_rng_state(self.rng, rng_before)
-                    if manager is not None:
-                        manager.save(
-                            self._make_checkpoint(it, theta, adam, history)
+                with span("engine.iteration", "engine", iteration=it):
+                    try:
+                        loss, nominal_powers, n_corners = self.loss(
+                            theta_t, it
                         )
-                    self._degrade_to_serial(exc)
-                    continue  # retry the same iteration in-process
-                loss.backward()
-                grad = (
-                    theta_t.grad
-                    if theta_t.grad is not None
-                    else np.zeros_like(theta)
-                )
-                record = IterationRecord(
-                    iteration=it,
-                    loss=loss.item(),
-                    p=self.schedule.p(it) if self.config.use_fab else 0.0,
-                    n_corners=n_corners,
-                    fom=self.device.fom(nominal_powers),
-                    powers=nominal_powers,
-                )
-                history.append(record)
-                if callback is not None:
-                    callback(record)
-                theta = adam.step(theta, grad)
+                    except RemoteFleetDead as exc:
+                        set_rng_state(self.rng, rng_before)
+                        if manager is not None:
+                            manager.save(
+                                self._make_checkpoint(
+                                    it, theta, adam, history
+                                )
+                            )
+                        self._degrade_to_serial(exc)
+                        continue  # retry the same iteration in-process
+                    with span("engine.backward", "engine"):
+                        loss.backward()
+                    grad = (
+                        theta_t.grad
+                        if theta_t.grad is not None
+                        else np.zeros_like(theta)
+                    )
+                    record = IterationRecord(
+                        iteration=it,
+                        loss=loss.item(),
+                        p=self.schedule.p(it) if self.config.use_fab else 0.0,
+                        n_corners=n_corners,
+                        fom=self.device.fom(nominal_powers),
+                        powers=nominal_powers,
+                    )
+                    history.append(record)
+                    if callback is not None:
+                        callback(record)
+                    theta = adam.step(theta, grad)
                 final_loss = record.loss
                 it += 1
+                if session is not None:
+                    session.record(
+                        "iteration", it - 1,
+                        extra={"loss": record.loss, "fom": record.fom},
+                        workspace=self.device.workspace,
+                    )
+                if self.config.metrics_every and it % self.config.metrics_every == 0:
+                    snap = get_metrics().snapshot(self.device.workspace)
+                    log.info(
+                        "metrics @ iteration %d: counters=%s gauges=%s",
+                        it - 1, snap["counters"], snap["gauges"],
+                    )
                 if manager is not None and (
                     stop.requested
                     or it == n_iter

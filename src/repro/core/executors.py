@@ -54,6 +54,9 @@ from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import SpanCapture, span
+
 __all__ = [
     "CornerExecutor",
     "SerialExecutor",
@@ -159,7 +162,8 @@ def run_warm_task(
     task: Callable[[T], R],
     workspace_of: Callable[[T], "object | None"],
     inline_task: Callable[[T], R] | None = None,
-) -> tuple[R, dict, int]:
+    capture_obs: bool = False,
+) -> "tuple[R, dict, str | None, dict | None]":
     """Execute one fan-out task under the worker warm-pool protocol.
 
     The single home of the invariant both the taped corner fan-out and
@@ -176,26 +180,43 @@ def run_warm_task(
       bracket the warmed value's workspace solver stats around the task,
       and return the delta for the parent to merge.
 
-    Returns ``(result, stats delta, worker identity)`` — the identity
-    (``pid.nonce``, see :func:`stable_worker_token`) is fan-out
-    evidence that stays distinct across hosts where bare pids can
-    collide; an inline run reports ``None`` instead, so parents never
-    count their own work as a worker's.
+    Returns ``(result, stats delta, worker identity, obs payload)`` —
+    the identity (``pid.nonce``, see :func:`stable_worker_token`) is
+    fan-out evidence that stays distinct across hosts where bare pids
+    can collide; an inline run reports ``None`` instead, so parents
+    never count their own work as a worker's.  When the parent asked
+    for observability capture (``capture_obs=True`` baked into the
+    pickled task), a worker brackets the task in a
+    :class:`repro.obs.trace.SpanCapture` plus a metrics baseline and
+    ships ``{"spans": [...], "metrics": {...}}`` home; inline runs ship
+    ``None`` — the parent's own tracer and registry already saw the
+    work.
     """
     if task_in_parent(token):
-        return (inline_task or task)(fresh_value), {}, None
+        return (inline_task or task)(fresh_value), {}, None, None
     value = worker_warm(token, fresh_value)
     workspace = workspace_of(value)
     before = (
         workspace.solver_stats.as_dict() if workspace is not None else None
     )
-    result = task(value)
+    obs = None
+    if capture_obs:
+        metrics = get_metrics()
+        metrics_before = metrics.as_dict()
+        with SpanCapture("worker.task", "worker", token=token) as cap:
+            result = task(value)
+        obs = {
+            "spans": cap.records,
+            "metrics": metrics.delta_since(metrics_before),
+        }
+    else:
+        result = task(value)
     delta = (
         workspace.solver_stats.delta_since(before)
         if workspace is not None
         else {}
     )
-    return result, delta, _process_identity()
+    return result, delta, _process_identity(), obs
 
 
 class CornerExecutor:
@@ -294,11 +315,13 @@ class _PoolExecutor(CornerExecutor):
             self._pool = self._make_pool(workers)
         # Executor.map yields results in submission order: the ordered,
         # deterministic reduction the callers rely on.
-        return list(
-            self._pool.map(
-                fn, items, chunksize=self._chunksize(len(items))
+        with span("executor.map", "executor", backend=self.name,
+                  items=len(items), workers=workers):
+            return list(
+                self._pool.map(
+                    fn, items, chunksize=self._chunksize(len(items))
+                )
             )
-        )
 
     def _chunksize(self, n_items: int) -> int:
         return 1
@@ -333,6 +356,19 @@ class ThreadExecutor(_PoolExecutor):
         )
 
 
+def _pool_worker_init() -> None:
+    """Process-pool initializer: inherit the parent's logging config.
+
+    The level travels through ``$REPRO_LOG_LEVEL`` (exported by
+    ``configure_logging``), so spawned workers match the parent without
+    every call site threading a level argument through pickles.
+    """
+    from repro.utils.logsetup import LOG_LEVEL_ENV, configure_logging
+
+    if os.environ.get(LOG_LEVEL_ENV):
+        configure_logging()
+
+
 class ProcessExecutor(_PoolExecutor):
     """Process-pool fan-out for picklable task payloads.
 
@@ -351,7 +387,9 @@ class ProcessExecutor(_PoolExecutor):
     _inline_single_auto_worker = True
 
     def _make_pool(self, workers: int) -> Executor:
-        return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_worker_init
+        )
 
     def _chunksize(self, n_items: int) -> int:
         # One chunk per worker: the task payload (device, process,

@@ -85,6 +85,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.executors import CornerExecutor, resolve_worker_count
+from repro.obs.metrics import get_metrics, rss_bytes
+from repro.obs.trace import span
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -192,11 +194,24 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 def send_frame(sock: socket.socket, message: dict) -> None:
     """One length-prefixed, digest-checked frame carrying ``message``."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_FRAME_HEADER.pack(len(payload), _digest(payload)) + payload)
+    total = _FRAME_HEADER.size + len(payload)
+    metrics = get_metrics()
+    metrics.counter_add("remote.frames_sent")
+    metrics.counter_add("remote.bytes_sent", total)
+    with span("remote.send_frame", "remote",
+              kind=message.get("kind"), bytes=total):
+        sock.sendall(
+            _FRAME_HEADER.pack(len(payload), _digest(payload)) + payload
+        )
 
 
 def recv_frame(sock: socket.socket) -> dict:
     """Receive one frame; verifies the length bound and payload digest."""
+    with span("remote.recv_frame", "remote") as frame_span:
+        return _recv_frame(sock, frame_span)
+
+
+def _recv_frame(sock: socket.socket, frame_span) -> dict:
     header = _recv_exact(sock, _FRAME_HEADER.size)
     length, digest = _FRAME_HEADER.unpack(header)
     if length > _MAX_FRAME_BYTES:
@@ -205,6 +220,11 @@ def recv_frame(sock: socket.socket) -> dict:
             "peer is not speaking the repro worker protocol"
         )
     payload = _recv_exact(sock, length)
+    total = _FRAME_HEADER.size + length
+    metrics = get_metrics()
+    metrics.counter_add("remote.frames_received")
+    metrics.counter_add("remote.bytes_received", total)
+    frame_span.set(bytes=total)
     if _digest(payload) != digest:
         raise RemoteProtocolError(
             "frame payload digest mismatch: the stream was corrupted in "
@@ -306,6 +326,7 @@ class RemoteWorkerServer:
         self._seeds: "OrderedDict[str, Callable]" = OrderedDict()
         self._connections: "set[socket.socket]" = set()
         self._tasks_seen = 0
+        self._tasks_done = 0
         self._closed = False
         self._draining = False
         self._in_flight = 0
@@ -314,6 +335,23 @@ class RemoteWorkerServer:
     @property
     def address(self) -> "tuple[str, int]":
         return (self.host, self.port)
+
+    def _gauge_snapshot(self) -> dict:
+        """Worker health gauges shipped on welcome and busy heartbeats.
+
+        Small plain-scalar dict (it rides every heartbeat frame):
+        current queue depth (tasks executing or awaiting reply),
+        lifetime tasks completed, and resident set size.  The client
+        surfaces these per worker in the parent's metrics registry.
+        """
+        with self._lock:
+            queue_depth = self._in_flight
+            tasks_completed = self._tasks_done
+        return {
+            "queue_depth": queue_depth,
+            "tasks_completed": tasks_completed,
+            "rss_bytes": rss_bytes(),
+        }
 
     def serve_forever(self) -> None:
         """Accept connections until :meth:`shutdown` (or fault death).
@@ -460,6 +498,7 @@ class RemoteWorkerServer:
                     "kind": "welcome",
                     "version": self.protocol_version,
                     "pid": os.getpid(),
+                    "gauges": self._gauge_snapshot(),
                 },
             )
             while not self._closed:
@@ -593,8 +632,12 @@ class RemoteWorkerServer:
                     break
                 # Liveness while the solve runs: the client resets its
                 # death timer on any frame, so long tasks survive short
-                # timeouts.
-                send_frame(conn, {"kind": "busy"})
+                # timeouts.  Heartbeats double as health telemetry: each
+                # carries the worker's gauge snapshot (additive key —
+                # old clients simply ignore it, no version bump needed).
+                send_frame(
+                    conn, {"kind": "busy", "gauges": self._gauge_snapshot()}
+                )
             if "error" in box:
                 send_frame(
                     conn,
@@ -630,6 +673,7 @@ class RemoteWorkerServer:
         finally:
             with self._drained:
                 self._in_flight -= 1
+                self._tasks_done += 1
                 self._drained.notify_all()
 
 
@@ -725,6 +769,9 @@ class _WorkerConnection:
                 pass
             raise
         self.pid = int(welcome.get("pid", -1))
+        #: Latest worker gauge snapshot (queue depth, tasks completed,
+        #: RSS), refreshed by welcome and every busy heartbeat.
+        self.gauges: dict = dict(welcome.get("gauges") or {})
 
     def _recv(self) -> dict:
         return recv_frame(self.sock)
@@ -763,6 +810,9 @@ class _WorkerConnection:
                     ) from exc
                 kind = reply["kind"]
                 if kind == "busy":
+                    gauges = reply.get("gauges")
+                    if gauges:
+                        self.gauges = dict(gauges)
                     continue
                 if kind == "need-seed":
                     # Worker lost the seed (restart / LRU); re-ship once.
@@ -821,18 +871,24 @@ class _MapState:
         self.fatal: BaseException | None = None
         self.worker_failures: "list[str]" = []
 
-    def next_index(self, slot: int) -> int | None:
+    def next_index(self, slot: int) -> "tuple[int, bool] | None":
+        """The next item index for ``slot``, or ``None`` when done.
+
+        Returns ``(index, stolen)`` — ``stolen`` marks a work-steal
+        from another slot's queue, surfaced on the task span so steal
+        patterns show up in traces.
+        """
         with self.cond:
             while True:
                 if self.fatal is not None or self.remaining == 0:
                     return None
                 if self.queues[slot]:
                     self.in_flight += 1
-                    return self.queues[slot].popleft()
+                    return self.queues[slot].popleft(), False
                 donor = max(self.queues, key=len)
                 if donor:
                     self.in_flight += 1
-                    return donor.pop()
+                    return donor.pop(), True
                 if self.in_flight == 0:
                     # Unfinished items but nothing queued or running:
                     # every holder died.  map_ordered reports it.
@@ -1026,16 +1082,21 @@ class RemoteCornerExecutor(CornerExecutor):
         )
         state = _MapState(len(items), n_workers)
         threads = []
-        for slot in range(n_workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(slot, self.addresses[slot], key, fn_bytes, items, state),
-                daemon=True,
-            )
-            thread.start()
-            threads.append(thread)
-        for thread in threads:
-            thread.join()
+        with span("remote.map", "remote", items=len(items),
+                  workers=n_workers) as map_span:
+            for slot in range(n_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(
+                        slot, self.addresses[slot], key, fn_bytes, items,
+                        state, map_span.span_id,
+                    ),
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
         if state.fatal is not None:
             raise state.fatal
         missing = state.missing()
@@ -1049,6 +1110,18 @@ class RemoteCornerExecutor(CornerExecutor):
             )
         return list(state.results)
 
+    def _publish_gauges(
+        self, address: "tuple[str, int]", conn: _WorkerConnection
+    ) -> None:
+        """Expose a worker's latest gauge snapshot in the parent registry."""
+        if not conn.gauges:
+            return
+        metrics = get_metrics()
+        prefix = f"remote.worker.{address[0]}:{address[1]}."
+        for name, value in conn.gauges.items():
+            if isinstance(value, (int, float)):
+                metrics.gauge_set(prefix + name, value)
+
     def _worker_loop(
         self,
         slot: int,
@@ -1057,6 +1130,7 @@ class RemoteCornerExecutor(CornerExecutor):
         fn_bytes: bytes,
         items: list,
         state: _MapState,
+        map_span_id: "int | None" = None,
     ) -> None:
         host, port = address
         try:
@@ -1074,12 +1148,28 @@ class RemoteCornerExecutor(CornerExecutor):
             # instead of silently shrinking the fleet.
             state.set_fatal(exc)
             return
+        self._publish_gauges(address, conn)
         while True:
-            index = state.next_index(slot)
-            if index is None:
+            wait_t0 = time.perf_counter()
+            claim = state.next_index(slot)
+            if claim is None:
                 return
+            index, stolen = claim
+            wait_s = time.perf_counter() - wait_t0
             try:
-                result = conn.run_task(key, fn_bytes, items[index])
+                # Each slot runs in its own thread with an empty span
+                # stack, so the task span names the dispatching map span
+                # as its parent explicitly — the worker's shipped span
+                # tree is later adopted under engine/eval dispatch spans
+                # by the caller, while this span records the client-side
+                # view (queue wait, steals, wire round-trip).
+                with span(
+                    "remote.task", "remote", parent=map_span_id,
+                    worker=f"{host}:{port}", index=index, stolen=stolen,
+                    queue_wait_s=round(wait_s, 6),
+                ):
+                    result = conn.run_task(key, fn_bytes, items[index])
+                self._publish_gauges(address, conn)
             except RemoteTaskError as exc:
                 # The task itself raised; it would raise identically on
                 # any worker, so resubmission would only mask the bug.

@@ -20,6 +20,8 @@ from repro.fab.corners import VariationCorner
 from repro.fab.litho import LITHO_CORNER_NAMES
 from repro.fab.process import FabricationProcess
 from repro.fab.temperature import alpha_of_temperature
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer, span, tracing_active
 from repro.utils.seeding import rng_from_seed
 
 __all__ = [
@@ -130,6 +132,7 @@ def _evaluate_sample_task(
     device: PhotonicDevice,
     process: FabricationProcess,
     pattern: np.ndarray,
+    capture: bool,
     corner: VariationCorner,
 ):
     """Process-pool variant of :func:`_evaluate_sample`.
@@ -141,15 +144,17 @@ def _evaluate_sample_task(
     caches survive across chunks and repeated evaluations, and the task
     returns its solver-stats delta (merged into the parent workspace by
     :func:`evaluate_post_fab`) plus the worker identity as fan-out
-    evidence.
+    evidence and — when the parent dispatched with tracing active — the
+    worker's span tree and metric deltas.
     """
-    (fom, powers), delta, worker = run_warm_task(
+    (fom, powers), delta, worker, obs = run_warm_task(
         token,
         device,
         lambda dev: _evaluate_sample(dev, process, pattern, corner),
         lambda dev: dev.workspace,
+        capture_obs=capture,
     )
-    return fom, powers, delta, worker
+    return fom, powers, delta, worker, obs
 
 
 def evaluate_post_fab(
@@ -276,9 +281,21 @@ def evaluate_post_fab(
                 device,
                 process,
                 pattern,
+                tracing_active(),
             )
             results = []
-            for fom, powers, delta, _worker in pool.map_ordered(task_p, corners):
+            with span(
+                "eval.dispatch", "eval",
+                backend=pool.name, samples=len(corners),
+            ) as dispatch:
+                outcomes = pool.map_ordered(task_p, corners)
+            tracer = get_tracer()
+            metrics = get_metrics()
+            for fom, powers, delta, _worker, obs in outcomes:
+                if obs is not None:
+                    if tracer is not None:
+                        tracer.adopt(obs.get("spans", []), dispatch.span_id)
+                    metrics.merge_delta(obs.get("metrics"))
                 if workspace is not None:
                     workspace.merge_solver_stats(delta)
                 results.append((fom, powers))

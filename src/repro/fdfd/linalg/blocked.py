@@ -48,6 +48,7 @@ from repro.fdfd.linalg.base import (
 )
 from repro.fdfd.linalg.direct import BatchedDirectSolver
 from repro.fdfd.linalg.krylov import PreconditionedKrylovSolver
+from repro.obs.trace import span
 
 __all__ = ["BlockedKrylovSolver", "CornerBlockSolver", "BlockDiagnostics"]
 
@@ -261,9 +262,12 @@ class CornerBlockSolver:
         if iter_cols.size == 0:
             return out
 
-        x, converged, iters, sweeps = self._bicgstab_block(
-            block[:, iter_cols], systems[iter_cols], trans
-        )
+        with span("solver.block_sweeps", "solver",
+                  columns=int(iter_cols.size)) as sweep_span:
+            x, converged, iters, sweeps = self._bicgstab_block(
+                block[:, iter_cols], systems[iter_cols], trans
+            )
+            sweep_span.set(sweeps=sweeps)
         self.stats.add(block_sweeps=sweeps)
         self.diagnostics.sweeps += sweeps
         # Convergence record: converged columns only — a fallback column's

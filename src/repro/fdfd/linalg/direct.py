@@ -21,6 +21,7 @@ from repro.fdfd.linalg.base import (
     SolverConfig,
     register_solver,
 )
+from repro.obs.trace import span
 
 __all__ = ["DirectSolver", "BatchedDirectSolver"]
 
@@ -64,8 +65,10 @@ class DirectSolver(LinearSolver):
         if rhs.ndim != 2:
             raise ValueError(f"solve_many expects an (n, k) block, got {rhs.shape}")
         out = np.empty_like(rhs)
-        for j in range(rhs.shape[1]):
-            out[:, j] = self._lu.solve(rhs[:, j], trans=trans)
+        with span("solver.solve", "solver", backend="direct",
+                  columns=rhs.shape[1]):
+            for j in range(rhs.shape[1]):
+                out[:, j] = self._lu.solve(rhs[:, j], trans=trans)
         self.stats.add(solves=1, rhs_columns=rhs.shape[1])
         return out
 
@@ -98,5 +101,7 @@ class BatchedDirectSolver(DirectSolver):
         if rhs.ndim != 2:
             raise ValueError(f"solve_many expects an (n, k) block, got {rhs.shape}")
         self.stats.add(solves=1, rhs_columns=rhs.shape[1], batched_calls=1)
-        out = self._lu.solve(rhs, trans=trans)
+        with span("solver.solve", "solver", backend="batched",
+                  columns=rhs.shape[1]):
+            out = self._lu.solve(rhs, trans=trans)
         return np.ascontiguousarray(out)

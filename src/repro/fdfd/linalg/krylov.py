@@ -33,6 +33,7 @@ from repro.fdfd.linalg.base import (
     register_solver,
 )
 from repro.fdfd.linalg.direct import BatchedDirectSolver, DirectSolver
+from repro.obs.trace import span
 
 __all__ = ["PreconditionedKrylovSolver", "KrylovDiagnostics"]
 
@@ -179,34 +180,37 @@ class PreconditionedKrylovSolver(LinearSolver):
             nonlocal iters
             iters += 1
 
-        if self.config.krylov_method == "gmres":
-            # GMRES counts outer restart cycles; size the cycles so the
-            # total inner-iteration budget matches config.maxiter.
-            restart = min(self.config.gmres_restart, self.config.maxiter)
-            outer = -(-self.config.maxiter // restart)
-            x, info = spla.gmres(
-                a,
-                b,
-                x0=x0,
-                rtol=self.config.tol,
-                atol=0.0,
-                restart=restart,
-                maxiter=outer,
-                M=m,
-                callback=count,
-                callback_type="pr_norm",
-            )
-        else:
-            x, info = spla.bicgstab(
-                a,
-                b,
-                x0=x0,
-                rtol=self.config.tol,
-                atol=0.0,
-                maxiter=self.config.maxiter,
-                M=m,
-                callback=count,
-            )
+        with span("solver.krylov", "solver",
+                  method=self.config.krylov_method) as sp_handle:
+            if self.config.krylov_method == "gmres":
+                # GMRES counts outer restart cycles; size the cycles so the
+                # total inner-iteration budget matches config.maxiter.
+                restart = min(self.config.gmres_restart, self.config.maxiter)
+                outer = -(-self.config.maxiter // restart)
+                x, info = spla.gmres(
+                    a,
+                    b,
+                    x0=x0,
+                    rtol=self.config.tol,
+                    atol=0.0,
+                    restart=restart,
+                    maxiter=outer,
+                    M=m,
+                    callback=count,
+                    callback_type="pr_norm",
+                )
+            else:
+                x, info = spla.bicgstab(
+                    a,
+                    b,
+                    x0=x0,
+                    rtol=self.config.tol,
+                    atol=0.0,
+                    maxiter=self.config.maxiter,
+                    M=m,
+                    callback=count,
+                )
+            sp_handle.set(iterations=iters, converged=info == 0)
         if info == 0:
             self.stats.add(
                 solves=1, rhs_columns=1, krylov_solves=1, iterations=iters

@@ -66,6 +66,7 @@ from repro.fdfd.linalg import (
 from repro.fdfd.modes import SlabModeSolver, WaveguideMode
 from repro.fdfd.operators import build_derivative_ops, laplacian_from_ops
 from repro.fdfd.pml import PMLSpec
+from repro.obs.trace import span
 
 __all__ = [
     "FactorOptions",
@@ -108,14 +109,15 @@ class FactorOptions:
 
     def splu(self, matrix: sp.csc_matrix) -> spla.SuperLU:
         """Factorize a CSC matrix with these options."""
-        return spla.splu(
-            matrix,
-            permc_spec=self.permc_spec,
-            options=dict(
-                SymmetricMode=self.symmetric_mode,
-                DiagPivotThresh=self.diag_pivot_thresh,
-            ),
-        )
+        with span("solver.factorize", "solver", n=matrix.shape[0]):
+            return spla.splu(
+                matrix,
+                permc_spec=self.permc_spec,
+                options=dict(
+                    SymmetricMode=self.symmetric_mode,
+                    DiagPivotThresh=self.diag_pivot_thresh,
+                ),
+            )
 
 
 _DEFAULT_FACTOR_OPTIONS = FactorOptions()
@@ -453,6 +455,11 @@ class SimulationWorkspace:
         backend_cls = SOLVER_REGISTRY[self.solver_config.backend]
         if not getattr(backend_cls, "supports_corner_block", False):
             return None
+        with span("workspace.begin_corner_block", "solver",
+                  corners=len(eps_list)):
+            return self._begin_corner_block(backend_cls, assembly, eps_list)
+
+    def _begin_corner_block(self, backend_cls, assembly, eps_list):
         eps_arrs = [np.asarray(e, dtype=np.float64) for e in eps_list]
         if not eps_arrs:
             raise ValueError("begin_corner_block needs at least one corner")

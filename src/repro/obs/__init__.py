@@ -1,0 +1,50 @@
+"""Observability for the reproduction stack: spans, metrics, exporters.
+
+``repro.obs`` is the telemetry seam under every run: :mod:`.trace`
+records hierarchical spans across threads, processes and remote
+workers; :mod:`.metrics` keeps run-wide counters/gauges/histograms
+merged like ``SolveStats`` deltas; :mod:`.export` renders both as
+per-iteration JSONL, Chrome trace-event JSON and text summaries.
+All of it is off (and near-free) unless a run asks for a trace.
+"""
+
+from .metrics import MetricsRegistry, get_metrics, reset_metrics, rss_bytes
+from .trace import (
+    SpanCapture,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_active,
+)
+from .export import (
+    TRACE_FORMATS,
+    TraceSession,
+    chrome_trace_events,
+    format_summary,
+    load_trace_records,
+    summarize_records,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "rss_bytes",
+    "SpanCapture",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "span",
+    "tracing_active",
+    "TRACE_FORMATS",
+    "TraceSession",
+    "chrome_trace_events",
+    "format_summary",
+    "load_trace_records",
+    "summarize_records",
+    "write_chrome_trace",
+]

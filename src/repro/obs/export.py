@@ -1,0 +1,216 @@
+"""Trace exporters: per-iteration JSONL, Chrome trace-event JSON, text.
+
+Three views of the same flat span records produced by
+:mod:`repro.obs.trace`:
+
+* **JSONL** (``trace.jsonl``) — one self-contained JSON object per
+  iteration (spans + a metrics snapshot), appended as the run goes, so
+  a crash loses at most the current iteration and downstream tools can
+  tail the file. This is the format ``repro serve`` will stream.
+* **Chrome trace-event JSON** (``trace_chrome.json``) — complete
+  ``ph: "X"`` duration events viewable in ``chrome://tracing`` /
+  Perfetto; worker pids become separate process rows, so the fleet's
+  timeline reads at a glance.
+* **Text summary** (``summary.txt`` and ``repro trace summarize``) —
+  per-phase wall/self time rollup grouped by span name.
+
+:class:`TraceSession` ties them together for a run: it enables the
+process-global tracer, drains it once per recorded iteration, and
+writes every requested format on close.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .metrics import get_metrics
+from .trace import disable_tracing, enable_tracing
+
+__all__ = [
+    "TRACE_FORMATS",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "summarize_records",
+    "format_summary",
+    "load_trace_records",
+    "TraceSession",
+]
+
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+def chrome_trace_events(records: "list[dict]") -> "list[dict]":
+    """Span records as Chrome trace-event ``ph: "X"`` duration events."""
+    events = []
+    for rec in records:
+        events.append({
+            "name": rec["name"],
+            "cat": rec.get("cat") or "span",
+            "ph": "X",
+            "ts": rec["ts"] / 1000.0,       # trace-event ts/dur are in µs
+            "dur": rec["dur"] / 1000.0,
+            "pid": rec["pid"],
+            "tid": rec["tid"],
+            "args": rec.get("args") or {},
+        })
+    return events
+
+
+def write_chrome_trace(records: "list[dict]", path) -> Path:
+    """Write a complete Chrome trace-event JSON file."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def summarize_records(records: "list[dict]") -> "dict[str, dict]":
+    """Per-span-name rollup: calls, total/self/mean wall time (seconds).
+
+    *self* time is a span's duration minus its direct children's — the
+    number that says where time is actually spent rather than merely
+    enclosed, which is what makes assembly vs. factorization vs. frame
+    I/O distinguishable in nested traces.
+    """
+    child_time: "dict[int, int]" = {}
+    by_id = {rec["id"]: rec for rec in records}
+    for rec in records:
+        parent = rec.get("parent")
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0) + rec["dur"]
+    summary: "dict[str, dict]" = {}
+    for rec in records:
+        row = summary.setdefault(
+            rec["name"], {"calls": 0, "total_s": 0.0, "self_s": 0.0})
+        row["calls"] += 1
+        row["total_s"] += rec["dur"] / 1e9
+        self_ns = rec["dur"] - child_time.get(rec["id"], 0)
+        row["self_s"] += max(self_ns, 0) / 1e9
+    for row in summary.values():
+        row["mean_s"] = row["total_s"] / row["calls"]
+    return summary
+
+
+def format_summary(summary: "dict[str, dict]") -> str:
+    """The per-phase rollup as an aligned text table (self-time sorted)."""
+    rows = sorted(summary.items(), key=lambda kv: -kv[1]["self_s"])
+    width = max([len("phase")] + [len(name) for name, _ in rows])
+    lines = ["%-*s %8s %12s %12s %12s"
+             % (width, "phase", "calls", "total_s", "self_s", "mean_s")]
+    for name, row in rows:
+        lines.append("%-*s %8d %12.6f %12.6f %12.6f"
+                     % (width, name, row["calls"], row["total_s"],
+                        row["self_s"], row["mean_s"]))
+    return "\n".join(lines)
+
+
+def load_trace_records(path) -> "list[dict]":
+    """Span records from a trace file — JSONL or Chrome trace-event JSON.
+
+    Chrome events are mapped back into span-record shape (µs → ns) so
+    ``summarize`` works on either artifact; parent links are absent in
+    the Chrome format, so self-time degrades to total-time there.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    records: "list[dict]" = []
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        payload = json.loads(text)
+        next_id = 1
+        for event in payload.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            records.append({
+                "id": next_id,
+                "parent": None,
+                "name": event["name"],
+                "cat": event.get("cat", ""),
+                "ts": int(event["ts"] * 1000),
+                "dur": int(event["dur"] * 1000),
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "args": event.get("args") or {},
+            })
+            next_id += 1
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        records.extend(obj.get("spans", []))
+    return records
+
+
+class TraceSession:
+    """Lifecycle of one traced run: enable, record per iteration, export.
+
+    ``formats`` is any subset of :data:`TRACE_FORMATS`; JSONL streams as
+    the run progresses, the Chrome file and text summary are written on
+    :meth:`close` (they need the complete record set).
+    """
+
+    def __init__(self, directory, formats=("jsonl",)):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        unknown = set(formats) - set(TRACE_FORMATS)
+        if unknown:
+            raise ValueError(
+                "unknown trace format(s) %s; expected subset of %s"
+                % (sorted(unknown), list(TRACE_FORMATS)))
+        self.formats = tuple(formats)
+        self.jsonl_path = self.directory / "trace.jsonl"
+        self.chrome_path = self.directory / "trace_chrome.json"
+        self.summary_path = self.directory / "summary.txt"
+        self._all_records: "list[dict]" = []
+        self._jsonl = (self.jsonl_path.open("w", encoding="utf-8")
+                       if "jsonl" in self.formats else None)
+        self._closed = False
+        self.tracer = enable_tracing()
+
+    def record(self, kind: str = "iteration", index: "int | None" = None,
+               extra: "dict | None" = None, workspace=None) -> "list[dict]":
+        """Drain spans accumulated since the last call into one record."""
+        records = self.tracer.drain()
+        self._all_records.extend(records)
+        if self._jsonl is not None:
+            entry = {"type": kind}
+            if index is not None:
+                entry["iteration"] = index
+            if extra:
+                entry.update(extra)
+            entry["spans"] = records
+            entry["metrics"] = get_metrics().snapshot(workspace)
+            self._jsonl.write(json.dumps(entry) + "\n")
+            self._jsonl.flush()
+        return records
+
+    def close(self) -> None:
+        """Flush trailing spans, write whole-run artifacts, disable tracing."""
+        if self._closed:
+            return
+        self._closed = True
+        self.record(kind="final")
+        if self._jsonl is not None:
+            self._jsonl.close()
+        if "chrome" in self.formats:
+            write_chrome_trace(self._all_records, self.chrome_path)
+        self.summary_path.write_text(
+            format_summary(summarize_records(self._all_records)) + "\n",
+            encoding="utf-8")
+        disable_tracing()
+
+    def __enter__(self) -> "TraceSession":
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

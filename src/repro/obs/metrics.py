@@ -1,0 +1,172 @@
+"""Counters / gauges / histograms registry for run-wide accounting.
+
+One registry per process (``get_metrics()``), mirroring how
+``SolveStats`` already works: instrumented code adds to counters on the
+hot path, workers compute *deltas* against a baseline taken before the
+task ran, and the parent merges those deltas — counters add, histograms
+fold, gauges last-write-wins — exactly like ``SolveStats.merge`` does
+for solver counters today.
+
+``SolveStats`` itself and the workspace cache ``hit_rate_pct`` values
+are *not* double-tracked: they stay authoritative where they live and
+are folded into the registry's view at presentation time by
+:meth:`MetricsRegistry.snapshot`, so a snapshot is one flat dict
+covering both worlds.
+
+Histograms are fixed-size ``[count, total, min, max]`` aggregates, not
+bucketed distributions — enough for per-phase means and extremes while
+keeping merges exact and payloads tiny.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = ["MetricsRegistry", "get_metrics", "reset_metrics", "rss_bytes"]
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges and [count, total, min, max] histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: "dict[str, float]" = {}
+        self._gauges: "dict[str, float]" = {}
+        self._hists: "dict[str, list[float]]" = {}
+
+    # -- hot-path writers -------------------------------------------------
+
+    def counter_add(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into the ``name`` histogram aggregate."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                hist[2] = min(hist[2], value)
+                hist[3] = max(hist[3], value)
+
+    # -- snapshots and merging --------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-dict view: ``{"counters": .., "gauges": .., "hists": ..}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "hists": {k: list(v) for k, v in self._hists.items()},
+            }
+
+    def delta_since(self, baseline: dict) -> dict:
+        """Changes since a prior :meth:`as_dict` — the worker-side payload.
+
+        Counter deltas are differences (mergeable by addition); histogram
+        deltas subtract counts/totals but keep the current min/max, which
+        stays exact under :meth:`merge_delta`'s min/min + max/max fold as
+        long as a baseline is taken per task (the warm-task seam does).
+        Gauges are process-local state and ship as current values.
+        """
+        current = self.as_dict()
+        counters = {}
+        for name, value in current["counters"].items():
+            diff = value - baseline.get("counters", {}).get(name, 0)
+            if diff:
+                counters[name] = diff
+        hists = {}
+        for name, hist in current["hists"].items():
+            base = baseline.get("hists", {}).get(name)
+            if base is None:
+                hists[name] = list(hist)
+            elif hist[0] != base[0]:
+                hists[name] = [hist[0] - base[0], hist[1] - base[1],
+                               hist[2], hist[3]]
+        return {"counters": counters, "gauges": current["gauges"],
+                "hists": hists}
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a worker delta into this registry (parent side)."""
+        if not delta:
+            return
+        with self._lock:
+            for name, value in delta.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in delta.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, hist in delta.get("hists", {}).items():
+                mine = self._hists.get(name)
+                if mine is None:
+                    self._hists[name] = list(hist)
+                else:
+                    mine[0] += hist[0]
+                    mine[1] += hist[1]
+                    mine[2] = min(mine[2], hist[2])
+                    mine[3] = max(mine[3], hist[3])
+
+    def snapshot(self, workspace=None) -> dict:
+        """One flat presentation dict; folds workspace stats when given.
+
+        Solver counters appear as ``solver.<field>`` and cache hit rates
+        as ``cache.<name>.hit_rate_pct`` gauges — read from the workspace
+        at call time, never stored here, so nothing double-counts.
+        """
+        snap = self.as_dict()
+        if workspace is not None:
+            stats = workspace.stats()
+            solver = stats.pop("solver", {})
+            for field, value in solver.items():
+                if isinstance(value, (int, float)):
+                    snap["counters"]["solver." + field] = (
+                        snap["counters"].get("solver." + field, 0) + value)
+                else:
+                    snap["gauges"]["solver." + field] = value
+            for cache, info in stats.items():
+                if isinstance(info, dict) and "hit_rate_pct" in info:
+                    snap["gauges"]["cache.%s.hit_rate_pct" % cache] = (
+                        info["hit_rate_pct"])
+        return snap
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry (always on; writes are cheap)."""
+    return _METRICS
+
+
+def reset_metrics() -> None:
+    """Clear the process-global registry (tests, fresh runs)."""
+    _METRICS.reset()
+
+
+def rss_bytes() -> int:
+    """Resident set size of this process, 0 if undeterminable."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+
+            # ru_maxrss is KiB on Linux, bytes on macOS; Linux taken here.
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        except Exception:
+            return 0

@@ -454,13 +454,15 @@ class TestProcessTapedFanout:
             stable_worker_token(device, ":design"),
             device,
             1,
+            False,
         )
         task2, items2 = pickle.loads(pickle.dumps((task, items)))
         # The round-tripped task runs and its result pickles too.  Run
         # here in the minting parent it takes the inline path, which
         # reports no worker pid (and an empty stats delta).
-        summary, delta, pid = task2(items2[0])
+        summary, delta, pid, obs = task2(items2[0])
         assert pid is None
+        assert obs is None
         assert isinstance(delta, dict)
         roundtrip = pickle.loads(pickle.dumps(summary))
         assert [s.direction for s in roundtrip.directions] == ["fwd"]
