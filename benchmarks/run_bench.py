@@ -1,8 +1,8 @@
-"""Perf-evidence runner for the tracing + metrics subsystem (PR 7).
+"""Perf-evidence runner for scenario families (PR 8).
 
 Times the per-iteration optimizer cost of every registered solver
 backend against the seed-equivalent cold pipeline and writes
-``BENCH_PR7.json``:
+``BENCH_PR8.json``:
 
 * ``solver``     — one HelmholtzSolver construction: seed reference
   (full rebuild + COLAMD) vs. tuned cold vs. warm workspace.
@@ -46,11 +46,18 @@ backend against the seed-equivalent cold pipeline and writes
   per-iteration cost is gated at <= 1%.  The traced trajectory must
   match the untraced one bit for bit — the observer must not perturb
   the physics.
+* ``scenario``   — the PR 8 evidence: a 4-wavelength x 2-temperature x
+  axial-corner scenario family on bending under ``--aggregate worst``,
+  scalar ``krylov`` vs. ``krylov-block`` in the same session.  Gated on
+  omega-group amortization: exactly one blocked forward + adjoint solve
+  per wavelength group per iteration (the temperature axis must not add
+  solves), fewer total block sweeps than scalar per-column iterations,
+  and trajectory agreement to solver precision.
 
 The backends are also cross-checked: ``batched`` must reproduce the
 direct FoM trajectory bit for bit, ``krylov`` and ``krylov-block`` to
 solver precision.  Finally the numbers are compared against
-``BENCH_PR6.json`` (if present): a slower warm-direct, scalar-krylov
+``BENCH_PR7.json`` (if present): a slower warm-direct, scalar-krylov
 or krylov-block path, a block path that loses to scalar krylov or that
 stops amortizing sweeps, a process/remote fan-out with runaway
 overhead, checkpointing or tracing that taxes the loop beyond its gate
@@ -754,6 +761,89 @@ def bench_montecarlo(pattern: np.ndarray, n_samples: int) -> dict:
     }
 
 
+def bench_scenario(iterations: int, rounds: int = 2) -> tuple[dict, list[str]]:
+    """The PR 8 evidence: a broadband x thermal scenario family rides
+    omega-grouped blocked solves.
+
+    Bending under a 4-wavelength x 2-temperature x axial-corner family
+    (``--aggregate worst``), scalar ``krylov`` vs. ``krylov-block`` in
+    the same session.  Machine-independent gates:
+
+    * each omega group must ride exactly one blocked forward + one
+      blocked adjoint solve per iteration (the temperature axis shares
+      its wavelength's Laplacian and must not add solves);
+    * the blocked path's matrix-RHS sweeps must amortize — fewer total
+      block sweeps than the scalar path's per-column iterations;
+    * both trajectories must agree to solver precision.
+
+    The wall-clock speedup is recorded but not gated across machines.
+    """
+    lams = (1.50, 1.53, 1.57, 1.60)
+    temps = (290.0, 310.0)
+
+    def config(backend):
+        return OptimizerConfig(
+            iterations=iterations,
+            seed=0,
+            sampling="axial",
+            relax_epochs=0,
+            wavelengths_um=lams,
+            temperatures_k=temps,
+            aggregate="worst",
+            solver=backend,
+        )
+
+    runs: dict = {}
+    for backend in ("krylov", "krylov-block"):
+        best = float("inf")
+        for _ in range(rounds):
+            elapsed, result, stats = _timed_run(config(backend), iterations)
+            if elapsed < best:
+                best = elapsed
+                runs[backend] = (elapsed, result, stats["solver"])
+
+    t_scalar, r_scalar, s_scalar = runs["krylov"]
+    t_block, r_block, s_block = runs["krylov-block"]
+    n_scenarios = r_block.history[0].n_corners
+    expected_block_solves = len(lams) * 2 * iterations
+
+    failures: list[str] = []
+    if s_block["block_solves"] != expected_block_solves:
+        failures.append(
+            "scenario: omega grouping broke — "
+            f"{s_block['block_solves']} block solves, expected "
+            f"{expected_block_solves} ({len(lams)} groups x fwd+adjoint "
+            f"x {iterations} iterations)"
+        )
+    if s_block["block_sweeps"] >= s_scalar["iterations"]:
+        failures.append(
+            "scenario: block sweeps stopped amortizing — "
+            f"{s_block['block_sweeps']} blocked sweeps vs. "
+            f"{s_scalar['iterations']} scalar per-column iterations"
+        )
+    if not np.allclose(
+        r_block.fom_trace(), r_scalar.fom_trace(), rtol=1e-4, atol=1e-8
+    ):
+        failures.append(
+            "scenario: blocked trajectory diverged from scalar krylov"
+        )
+
+    return {
+        "n_scenarios": n_scenarios,
+        "n_omega_groups": len(lams),
+        "aggregate": "worst",
+        "scalar_s_per_iter": t_scalar / iterations,
+        "block_s_per_iter": t_block / iterations,
+        "speedup_vs_scalar_krylov": t_scalar / t_block,
+        "block_solves_per_iter": s_block["block_solves"] / iterations,
+        "block_sweeps": s_block["block_sweeps"],
+        "scalar_krylov_iterations": s_scalar["iterations"],
+        "sweep_amortization": round(
+            s_scalar["iterations"] / max(1, s_block["block_sweeps"]), 2
+        ),
+    }, failures
+
+
 def compare_with_baseline(
     iteration: dict, block: dict, baseline_path: Path
 ) -> list[str]:
@@ -853,11 +943,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--iterations", type=int, default=8)
     parser.add_argument("--mc-samples", type=int, default=8)
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR7.json")
+        "--output", default=str(REPO_ROOT / "BENCH_PR8.json")
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_PR6.json"),
+        default=str(REPO_ROOT / "BENCH_PR7.json"),
         help="previous PR's benchmark JSON to regression-check against",
     )
     parser.add_argument(
@@ -918,14 +1008,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{round(value, 4) if isinstance(value, float) else value}"
         )
 
+    print("== scenario family (4 wavelengths x 2 temperatures x axial) ==")
+    scenario, scenario_failures = bench_scenario(args.iterations)
+    for key, value in scenario.items():
+        print(
+            f"  {key}: "
+            f"{round(value, 4) if isinstance(value, float) else value}"
+        )
+
     failures = compare_with_baseline(iteration, block, Path(args.baseline))
     failures.extend(process_failures)
     failures.extend(remote_failures)
     failures.extend(checkpoint_failures)
     failures.extend(tracing_failures)
+    failures.extend(scenario_failures)
 
     payload = {
-        "benchmark": "PR7 observability: structured tracing + metrics",
+        "benchmark": "PR8 scenario families: broadband x thermal x fab",
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -941,6 +1040,7 @@ def main(argv: list[str] | None = None) -> int:
         "remote": remote,
         "checkpoint": checkpoint,
         "tracing": tracing,
+        "scenario": scenario,
         "regressions": failures,
     }
     out_path = Path(args.output)

@@ -70,6 +70,38 @@ rule of thumb: start with `--solver krylov-block`; add
 `--executor process:n` on multi-core machines or `--executor thread:n`
 for a shared-memory fan-out; use `--solver direct` when chasing bits.
 
+robust scenario families (broadband x thermal x fab)
+----------------------------------------------------
+axes: `repro design bending --wavelengths 1.53,1.55,1.57
+--temperatures 290,310` crosses every sampled fabrication corner with
+each operating wavelength and temperature (comma-separated floats;
+temperatures compose with a corner's own thermal excursion as offsets
+around the 300 K nominal).  scenarios are grouped by omega: each group
+shares its Laplacian, and under `--solver krylov-block` each group
+rides one blocked forward solve plus one blocked adjoint solve per
+iteration; the process/remote fan-out ships one device clone per omega
+group, its digest sent once per epoch per worker, exactly like the
+single-device case.
+aggregation: `--aggregate mean` (weighted expectation, the default) |
+`worst` (tempered soft-max over the family — a differentiable worst
+case whose gradient is FD-exact) | `cvar:ALPHA` (expected loss of the
+worst ALPHA-tail, e.g. cvar:0.5; tail membership from detached losses,
+applied as constant Rockafellar weights).
+determinism: with no axes set nothing changes — single-wavelength
+mean-aggregate runs stay bitwise identical to pre-scenario builds for
+LU-backed backends (direct/batched) on serial/thread executors, and a
+checkpoint written before the scenario axes existed refuses to resume
+with a descriptive digest error (the config digest covers the axes).
+with axes set, omega grouping never changes results: LU-backed
+backends stay bitwise across executors and worker counts; krylov
+backends agree to solver tolerance per omega group.
+evaluation: `repro evaluate ... --wavelengths 1.5,1.6` re-evaluates
+each Monte-Carlo fabrication draw at every wavelength (the same draws
+per stratum — a paired comparison) and reports per-wavelength
+statistics.  the `demux` device routes two channels to separate drop
+ports and is meant to be designed under `--wavelengths` — each omega
+clone targets its own drop port.
+
 scaling out (multi-node fan-out)
 --------------------------------
 start one worker per host (any machine with this package installed):
@@ -220,6 +252,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SAMPLING_STRATEGIES),
         default="axial+worst",
     )
+    p_design.add_argument(
+        "--wavelengths",
+        default=None,
+        metavar="UM[,UM...]",
+        help=(
+            "operating-wavelength axis of the scenario family "
+            "(comma-separated um, e.g. 1.53,1.55,1.57); every sampled "
+            "fab corner is crossed with each wavelength and grouped by "
+            "omega for blocked solves (default: the device's centre "
+            "wavelength only; see 'robust scenario families' below)"
+        ),
+    )
+    p_design.add_argument(
+        "--temperatures",
+        default=None,
+        metavar="K[,K...]",
+        help=(
+            "operating-temperature axis of the scenario family "
+            "(comma-separated kelvin, e.g. 290,310), composed with each "
+            "fab corner's own thermal excursion as offsets around 300 K "
+            "(default: corner temperatures unchanged)"
+        ),
+    )
+    p_design.add_argument(
+        "--aggregate",
+        default="mean",
+        metavar="MODE",
+        help=(
+            "scenario-loss reduction: mean (weighted expectation) | "
+            "worst (tempered soft-max worst case) | cvar:ALPHA "
+            "(expected loss of the worst ALPHA-tail, e.g. cvar:0.5; "
+            "default %(default)s)"
+        ),
+    )
     p_design.add_argument("--relax-epochs", type=int, default=None)
     p_design.add_argument("--seed", type=int, default=0)
     p_design.add_argument("--output", default=None, help="result JSON path")
@@ -364,6 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_eval.add_argument(
+        "--wavelengths",
+        default=None,
+        metavar="UM[,UM...]",
+        help=(
+            "re-evaluate every Monte-Carlo draw at each of these "
+            "wavelengths (comma-separated um) and report per-wavelength "
+            "statistics; omega groups share blocked solves under "
+            "krylov-block (default: the device's centre wavelength only)"
+        ),
+    )
+    p_eval.add_argument(
         "--block-chunk",
         type=int,
         default=DEFAULT_BLOCK_CHUNK,
@@ -427,6 +504,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_axis(spec: str | None) -> tuple[float, ...] | None:
+    """Comma-separated floats -> tuple (``None``/empty stays ``None``)."""
+    if spec is None:
+        return None
+    values = tuple(float(tok) for tok in spec.split(",") if tok.strip())
+    return values or None
+
+
 def _cmd_design(args) -> int:
     from repro.core.checkpoint import CheckpointError, resolve_resume
 
@@ -454,11 +539,20 @@ def _cmd_design(args) -> int:
             f"resuming from {resume_path} "
             f"(next iteration {resume_ckpt.next_iteration})"
         )
+    try:
+        wavelengths_um = _parse_axis(args.wavelengths)
+        temperatures_k = _parse_axis(args.temperatures)
+    except ValueError as exc:
+        print(f"error: bad axis value: {exc}", file=sys.stderr)
+        return 2
     config = OptimizerConfig(
         iterations=args.iterations,
         sampling=args.sampling,
         relax_epochs=relax,
         seed=args.seed,
+        wavelengths_um=wavelengths_um,
+        temperatures_k=temperatures_k,
+        aggregate=args.aggregate,
         corner_executor=args.executor,
         solver=args.solver,
         remote_timeout=args.remote_timeout,
@@ -535,12 +629,18 @@ def _cmd_evaluate(args) -> int:
         )
         session = TraceSession(args.trace_dir, formats or ("jsonl",))
     try:
+        try:
+            wavelengths_um = _parse_axis(args.wavelengths)
+        except ValueError as exc:
+            print(f"error: bad axis value: {exc}", file=sys.stderr)
+            return 2
         pre, _ = evaluate_ideal(device, pattern)
         report = evaluate_post_fab(
             device, process, pattern, n_samples=args.samples, seed=args.seed,
             executor=args.executor, block_chunk=args.block_chunk,
             remote_timeout=args.remote_timeout,
             remote_connect_retries=args.remote_connect_retries,
+            wavelengths_um=wavelengths_um,
         )
         if session is not None:
             session.record(
@@ -574,6 +674,14 @@ def _cmd_evaluate(args) -> int:
         f"({report.n_samples} samples)"
     )
     print(f"worst sample    : {report.worst_fom:.4g}")
+    strata = report.stratified_foms()
+    if len(strata) > 1 or None not in strata:
+        worst = np.max if device.fom_lower_is_better else np.min
+        for lam, foms in strata.items():
+            print(
+                f"  lam={lam:g}um  : {np.mean(foms):.4g} +- "
+                f"{np.std(foms):.4g}  worst {worst(foms):.4g}"
+            )
     return 0
 
 

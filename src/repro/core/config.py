@@ -15,6 +15,7 @@ engine:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.core.remote import (
@@ -65,6 +66,27 @@ class OptimizerConfig:
         Step size of the worst-corner ascent in EOLE-coefficient space.
     seed:
         Root seed for every stochastic component.
+    wavelengths_um:
+        Operating-wavelength axis of the scenario family, in um.
+        ``None`` (the default) keeps objectives single-wavelength at
+        the device's own centre wavelength — byte-identical to the
+        pre-scenario engine.  With wavelengths set, every sampled fab
+        corner is crossed with each wavelength (and each temperature,
+        below); members are grouped by omega so each group shares its
+        Laplacian and — under ``krylov-block`` — rides one blocked
+        solve.
+    temperatures_k:
+        Operating-temperature axis of the scenario family, in kelvin.
+        Composes with each fab corner's own thermal excursion as an
+        offset around the 300 K nominal.  ``None`` (the default) leaves
+        corner temperatures alone.
+    aggregate:
+        Scenario-loss reduction: ``"mean"`` (weighted expectation, the
+        historical behaviour), ``"worst"`` (tempered soft-max of the
+        family — differentiable worst case), or ``"cvar:<alpha>"``
+        (expected loss of the worst ``alpha``-tail, e.g.
+        ``"cvar:0.5"``).  See
+        :func:`repro.core.objective.aggregate_losses`.
     corner_executor:
         Backend for the per-iteration corner fan-out: ``"serial"``
         (default), ``"thread"`` / ``"thread:n"``, ``"process"`` /
@@ -168,6 +190,9 @@ class OptimizerConfig:
     knot_shape: tuple[int, int] | None = None
     levelset_beta: float = 2.0
     density_beta: float = 8.0
+    wavelengths_um: tuple[float, ...] | None = None
+    temperatures_k: tuple[float, ...] | None = None
+    aggregate: str = "mean"
     corner_executor: str = "serial"
     executor_workers: int | None = None
     remote_timeout: float = DEFAULT_REMOTE_TIMEOUT
@@ -204,6 +229,24 @@ class OptimizerConfig:
             raise ValueError("relax_epochs must be >= 0")
         if not 0.0 <= self.p_start <= 1.0:
             raise ValueError("p_start must lie in [0, 1]")
+        for axis, unit in (("wavelengths_um", "um"), ("temperatures_k", "K")):
+            values = getattr(self, axis)
+            if values is None:
+                continue
+            values = tuple(float(v) for v in values)
+            if not values:
+                values = None
+            else:
+                for v in values:
+                    if not (math.isfinite(v) and v > 0):
+                        raise ValueError(
+                            f"{axis} entries must be positive finite "
+                            f"({unit}), got {v!r}"
+                        )
+            setattr(self, axis, values)
+        from repro.core.objective import parse_aggregate
+
+        parse_aggregate(self.aggregate)  # validate the spec eagerly
         backend, _, rest = self.corner_executor.partition(":")
         if backend not in ("serial", "thread", "process", "remote"):
             raise ValueError(

@@ -36,11 +36,19 @@ from repro.core.executors import (
     run_warm_task,
     stable_worker_token,
 )
-from repro.core.objective import build_loss, radiation_power
+from repro.core.objective import (
+    aggregate_losses,
+    build_loss,
+    parse_aggregate,
+    radiation_power,
+)
 from repro.core.optimizer import Adam
 from repro.core.relaxation import RelaxationSchedule
 from repro.core.remote import RemoteFleetDead
-from repro.core.sampling import AxialPlusWorstSampling, make_sampling_strategy
+from repro.core.sampling import (
+    ScenarioFamilySampling,
+    make_sampling_strategy,
+)
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
 from repro.obs.export import TraceSession
@@ -230,6 +238,14 @@ class Boson1Optimizer:
             )
         self.process = process
         self.terms = objective_terms or device.objective_terms()
+        #: Explicit objective overrides apply to every scenario; without
+        #: one, off-centre wavelengths ask their own clone for terms
+        #: (wavelength-dependent objectives, e.g. the demux).
+        self._explicit_terms = objective_terms is not None
+        self._terms_by_omega: dict[float, dict] = {}
+        self._aggregate_mode, self._aggregate_alpha = parse_aggregate(
+            self.config.aggregate
+        )
         self.schedule = RelaxationSchedule(
             self.config.relax_epochs, self.config.p_start
         )
@@ -273,7 +289,12 @@ class Boson1Optimizer:
             kwargs["n_xi"] = self.process.eole.n_terms
         if cfg.sampling == "axial+worst":
             kwargs["xi_step"] = cfg.worst_xi_step
-        return make_sampling_strategy(cfg.sampling, **kwargs)
+        base = make_sampling_strategy(cfg.sampling, **kwargs)
+        if cfg.wavelengths_um or cfg.temperatures_k:
+            return ScenarioFamilySampling(
+                base, cfg.wavelengths_um, cfg.temperatures_k
+            )
+        return base
 
     def _initial_theta(self) -> np.ndarray:
         if self.config.init == "path":
@@ -311,11 +332,52 @@ class Boson1Optimizer:
         return self.device.port_powers_all(rho_scaled, alpha_bg)
 
     def _corner_loss(self, rho: Tensor, corner: VariationCorner):
+        device = self.device.for_corner(corner)
         rho_fab = self.process.apply(rho, corner)
         alpha_bg = alpha_of_temperature(corner.temperature_k)
-        powers = self._powers_for(rho_fab, alpha_bg)
-        loss = build_loss(self.terms, powers, self.config.dense_objectives)
+        powers = device.port_powers_all(rho_fab, alpha_bg)
+        loss = build_loss(
+            self._terms_for(device), powers, self.config.dense_objectives
+        )
         return loss, powers
+
+    def _terms_for(self, device: PhotonicDevice) -> dict:
+        """Objective terms for one scenario's device clone.
+
+        An explicit ``objective_terms`` override applies to every
+        scenario (the ``-eff`` baseline semantics); otherwise off-centre
+        clones ask for their own terms — memoized per omega — so
+        wavelength-dependent objectives (the demux routes each band to
+        a different port) aggregate correctly across the family.
+        """
+        if device is self.device or self._explicit_terms:
+            return self.terms
+        key = round(float(device.wavelength_um), 12)
+        terms = self._terms_by_omega.get(key)
+        if terms is None:
+            terms = device.objective_terms()
+            self._terms_by_omega[key] = terms
+        return terms
+
+    def _omega_groups(self, corners) -> "dict[float, list[int]]":
+        """Order-preserving partition of a scenario family by omega.
+
+        Keyed like the workspace caches (``round(wavelength, 12)``) so
+        every member of a group shares its Laplacian, assembly, and —
+        under ``krylov-block`` — one blocked solve.  Corners without a
+        wavelength axis group under the device's centre wavelength,
+        which makes this the identity (one group) for plain fab-corner
+        runs.
+        """
+        groups: dict[float, list[int]] = {}
+        for i, corner in enumerate(corners):
+            lam = (
+                corner.wavelength_um
+                if corner.wavelength_um is not None
+                else self.device.wavelength_um
+            )
+            groups.setdefault(round(float(lam), 12), []).append(i)
+        return groups
 
     def _ideal_loss(self, rho: Tensor):
         powers = self._powers_for(rho, 1.0)
@@ -323,48 +385,68 @@ class Boson1Optimizer:
         return loss, powers
 
     def _corner_losses_block(self, rho: Tensor, corners, include_ideal: bool):
-        """All corner losses from one blocked forward/adjoint solve pair.
+        """All scenario losses from one blocked solve pair *per omega*.
 
-        The fabrication chain still runs (taped) per corner, but every
-        corner's FDFD system joins a single
-        :meth:`PhotonicDevice.port_powers_corners` block solve — shared
-        ``L @ X`` products and single matrix-RHS preconditioner sweeps —
-        and the whole family's gradients arrive through one transposed
-        block solve on the backward pass.  While the Eq. (3) relaxation
-        ramp is active (``include_ideal``), the ideal-condition system —
-        which shares the Laplacian like any corner — rides along as one
-        extra column instead of paying its own scalar solve pair.
+        The family is partitioned by omega (:meth:`_omega_groups`); each
+        group's members share their Laplacian, so every group joins a
+        single :meth:`PhotonicDevice.port_powers_corners` block solve —
+        shared ``L @ X`` products and single matrix-RHS preconditioner
+        sweeps — and each group's gradients arrive through one
+        transposed block solve on the backward pass.  The fabrication
+        chain still runs (taped) per corner.  While the Eq. (3)
+        relaxation ramp is active (``include_ideal``), the
+        ideal-condition system — which shares the centre-wavelength
+        Laplacian — rides the centre-omega group as one extra column
+        instead of paying its own scalar solve pair; if no scenario sits
+        at the centre wavelength the caller falls back to a scalar ideal
+        solve.  A single-group family at the centre wavelength executes
+        the identical op sequence as the pre-scenario block path, so
+        single-``omega`` runs stay bitwise.
 
-        Returns ``None`` when the device cannot batch (backend not
-        block-capable, or a port inside the design window); the caller
-        then uses the per-corner fan-out.  Otherwise returns
+        Returns ``None`` when any group's device cannot batch (backend
+        not block-capable, or a port inside the design window); the
+        caller then uses the per-corner fan-out.  Otherwise returns
         ``(corner_results, ideal_result)`` with ``ideal_result`` being
-        ``None`` unless requested.
+        ``None`` unless requested and hosted.
         """
-        alphas = [
-            alpha_of_temperature(corner.temperature_k) for corner in corners
-        ]
-        if include_ideal:
-            alphas.append(1.0)
-        # Gate before fabricating: when the device can never batch (a
-        # port inside the design window), the taped per-corner litho
-        # chains built here would be thrown away every iteration.
-        if not self.device.can_batch_corners(alphas):
-            return None
-        rho_fabs = [self.process.apply(rho, corner) for corner in corners]
-        if include_ideal:
-            rho_fabs.append(rho)
-        with span("engine.block_corners", "engine", corners=len(alphas)):
-            powers_list = self.device.port_powers_corners(rho_fabs, alphas)
-        if powers_list is None:
-            return None
-        results = [
-            (build_loss(self.terms, powers, self.config.dense_objectives), powers)
-            for powers in powers_list
-        ]
-        if include_ideal:
-            return results[:-1], results[-1]
-        return results, None
+        groups = self._omega_groups(corners)
+        center_key = round(float(self.device.wavelength_um), 12)
+        # Gate every group before fabricating anything: when a device
+        # can never batch (a port inside the design window), the taped
+        # per-corner litho chains built here would be thrown away every
+        # iteration.
+        plan = []
+        for key, idxs in groups.items():
+            device_g = self.device.for_corner(corners[idxs[0]])
+            alphas = [
+                alpha_of_temperature(corners[i].temperature_k) for i in idxs
+            ]
+            with_ideal = include_ideal and key == center_key
+            if with_ideal:
+                alphas.append(1.0)
+            if not device_g.can_batch_corners(alphas):
+                return None
+            plan.append((device_g, idxs, alphas, with_ideal))
+        results: list = [None] * len(corners)
+        ideal_result = None
+        for device_g, idxs, alphas, with_ideal in plan:
+            rho_fabs = [self.process.apply(rho, corners[i]) for i in idxs]
+            if with_ideal:
+                rho_fabs.append(rho)
+            with span("engine.block_corners", "engine", corners=len(alphas)):
+                powers_list = device_g.port_powers_corners(rho_fabs, alphas)
+            if powers_list is None:
+                return None
+            terms = self._terms_for(device_g)
+            group_results = [
+                (build_loss(terms, powers, self.config.dense_objectives), powers)
+                for powers in powers_list
+            ]
+            if with_ideal:
+                ideal_result = group_results.pop()
+            for i, result in zip(idxs, group_results):
+                results[i] = result
+        return results, ideal_result
 
     def _corner_losses_process(self, rho: Tensor, corners, include_ideal: bool):
         """All corner losses via the forward-replay fan-out (fork or TCP).
@@ -389,68 +471,95 @@ class Boson1Optimizer:
         ``map_ordered`` — every item is a pure function of its payload,
         so a mid-iteration worker death leaves the reduced result (and,
         for LU-backed backends, every bit of the trajectory) unchanged.
+
+        Scenario families fan out *per omega group*: each group ships
+        its own device clone under its own warm-pool token, so per-omega
+        device digests cross the wire once per epoch per worker —
+        exactly like today's single device — and workers keep one warm
+        workspace per omega.  The ideal-condition system rides the
+        centre-omega group as one extra work item; a family with no
+        centre-wavelength member leaves it to the caller's scalar solve.
         """
-        rho_fabs = [self.process.apply(rho, corner) for corner in corners]
-        alphas = [
-            alpha_of_temperature(corner.temperature_k) for corner in corners
-        ]
-        if include_ideal:
-            rho_fabs.append(rho)
-            alphas.append(1.0)
+        groups = self._omega_groups(corners)
+        center_key = round(float(self.device.wavelength_um), 12)
         self._solver_epoch += 1
-        task = functools.partial(
-            _corner_forward_task,
-            stable_worker_token(self.device, ":design"),
-            self.device,
-            self._solver_epoch,
-            tracing_active(),
-        )
-        items = [
-            (alpha, np.asarray(fab.data, dtype=np.float64))
-            for alpha, fab in zip(alphas, rho_fabs)
-        ]
-        with span(
-            "engine.dispatch", "engine",
-            backend=self.executor.name, corners=len(items),
-        ) as dispatch:
-            outcomes = self.executor.map_ordered(task, items)
         tracer = get_tracer()
         metrics = get_metrics()
-        workspace = self.device.workspace
-        results = []
-        for (summary, stats_delta, worker, obs), rho_fab, alpha in zip(
-            outcomes, rho_fabs, alphas
-        ):
-            if worker is not None:
-                # Inline-in-parent runs report no identity
-                # (run_warm_task); every reported one is a genuine
-                # worker — the pid.nonce form stays distinct even
-                # across hosts whose pids collide.
-                self.observed_worker_pids.add(worker)
-            if obs is not None:
-                # Worker span trees graft under this fan-out's dispatch
-                # span — one connected timeline across the fleet — and
-                # worker metric deltas merge like stats deltas.
-                if tracer is not None:
-                    tracer.adopt(obs.get("spans", []), dispatch.span_id)
-                metrics.merge_delta(obs.get("metrics"))
-            if workspace is not None:
-                workspace.merge_solver_stats(stats_delta)
-            powers = self.device.port_powers_precomputed(
-                rho_fab, summary, alpha_bg=alpha
+        results: list = [None] * len(corners)
+        ideal_result = None
+        for key, idxs in groups.items():
+            device_g = self.device.for_corner(corners[idxs[0]])
+            rho_fabs = [self.process.apply(rho, corners[i]) for i in idxs]
+            alphas = [
+                alpha_of_temperature(corners[i].temperature_k) for i in idxs
+            ]
+            with_ideal = include_ideal and key == center_key
+            if with_ideal:
+                rho_fabs.append(rho)
+                alphas.append(1.0)
+            task = functools.partial(
+                _corner_forward_task,
+                stable_worker_token(device_g, ":design"),
+                device_g,
+                self._solver_epoch,
+                tracing_active(),
             )
-            loss = build_loss(
-                self.terms, powers, self.config.dense_objectives
-            )
-            results.append((loss, powers))
-        if include_ideal:
-            return results[:-1], results[-1]
-        return results, None
+            items = [
+                (alpha, np.asarray(fab.data, dtype=np.float64))
+                for alpha, fab in zip(alphas, rho_fabs)
+            ]
+            with span(
+                "engine.dispatch", "engine",
+                backend=self.executor.name, corners=len(items),
+            ) as dispatch:
+                outcomes = self.executor.map_ordered(task, items)
+            workspace = device_g.workspace
+            terms = self._terms_for(device_g)
+            group_results = []
+            for (summary, stats_delta, worker, obs), rho_fab, alpha in zip(
+                outcomes, rho_fabs, alphas
+            ):
+                if worker is not None:
+                    # Inline-in-parent runs report no identity
+                    # (run_warm_task); every reported one is a genuine
+                    # worker — the pid.nonce form stays distinct even
+                    # across hosts whose pids collide.
+                    self.observed_worker_pids.add(worker)
+                if obs is not None:
+                    # Worker span trees graft under this fan-out's
+                    # dispatch span — one connected timeline across the
+                    # fleet — and worker metric deltas merge like stats
+                    # deltas.
+                    if tracer is not None:
+                        tracer.adopt(obs.get("spans", []), dispatch.span_id)
+                    metrics.merge_delta(obs.get("metrics"))
+                if workspace is not None:
+                    workspace.merge_solver_stats(stats_delta)
+                powers = device_g.port_powers_precomputed(
+                    rho_fab, summary, alpha_bg=alpha
+                )
+                loss = build_loss(
+                    terms, powers, self.config.dense_objectives
+                )
+                group_results.append((loss, powers))
+            if with_ideal:
+                ideal_result = group_results.pop()
+            for i, result in zip(idxs, group_results):
+                results[i] = result
+        return results, ideal_result
 
     def loss(
         self, theta_t: Tensor, iteration: int
     ) -> tuple[Tensor, dict[str, dict[str, float]], int]:
         """Eq. (3) blended loss, nominal-condition powers, corner count.
+
+        With scenario axes configured (``config.wavelengths_um`` /
+        ``temperatures_k``) the sampled fab corners are crossed into a
+        scenario family, partitioned by omega so each group shares one
+        blocked solve (or one per-omega fan-out), and reduced by
+        ``config.aggregate`` — weighted mean, tempered soft-max worst
+        case, or CVaR tail expectation
+        (:func:`repro.core.objective.aggregate_losses`).
 
         Corner losses are independent given ``rho``; they fan out over
         :attr:`executor` and are reduced serially in the sampler's
@@ -493,7 +602,7 @@ class Boson1Optimizer:
             return total, nominal_powers, 0
 
         worst_finder = None
-        if isinstance(self.sampler, AxialPlusWorstSampling):
+        if self.sampler.wants_worst_finder:
             worst_finder = self._make_worst_finder(rho)
         corners = self.sampler.corners(iteration, self.rng, worst_finder)
         if not corners:
@@ -513,9 +622,10 @@ class Boson1Optimizer:
             and workspace.supports_corner_block
             and isinstance(self.executor, SerialExecutor)
         ):
-            # Block-corner path: every corner's system joins one blocked
-            # forward solve (and one blocked adjoint solve on backward),
-            # with the relaxation ramp's ideal system as an extra column.
+            # Block-corner path: every scenario's system joins one
+            # blocked forward solve per omega group (and one blocked
+            # adjoint solve each on backward), with the relaxation
+            # ramp's ideal system as an extra centre-group column.
             blocked = self._corner_losses_block(
                 rho, corners, include_ideal=p < 1.0
             )
@@ -545,18 +655,21 @@ class Boson1Optimizer:
                 corners,
                 workspace is not None and workspace.solver_uses_preconditioner,
             )
-        fab_loss = None
-        total_weight = 0.0
+        losses = []
+        weights = []
         for corner, (loss_c, powers_c) in zip(corners, corner_results):
-            weighted = loss_c * corner.weight
-            fab_loss = weighted if fab_loss is None else fab_loss + weighted
-            total_weight += corner.weight
+            losses.append(loss_c)
+            weights.append(corner.weight)
             if nominal_powers is None and corner.is_nominal():
                 nominal_powers = {
                     d: {k: v.item() for k, v in powers_c[d].items()}
                     for d in powers_c
                 }
-        fab_loss = fab_loss * (1.0 / total_weight)
+        # "mean" replays the historical per-corner op sequence inside
+        # aggregate_losses, keeping single-omega LU-backed runs bitwise.
+        fab_loss = aggregate_losses(
+            losses, weights, self._aggregate_mode, self._aggregate_alpha
+        )
 
         if p < 1.0:
             if ideal_result is not None:

@@ -18,11 +18,21 @@ strategy             #sims   description
 The worst corner implements the paper's SAM/FGSM-inspired move: ascend the
 loss one signed-gradient step in the (temperature, EOLE-coefficient)
 variation space, then include the resulting corner in the training set.
+
+Scenario families
+-----------------
+:func:`scenario_family` lifts any fabrication corner list into the full
+operating-condition cross product (wavelength band × temperature set ×
+fab corners), and :class:`ScenarioFamilySampling` wraps an existing
+strategy so the engine sees the family as an ordinary corner list.  With
+no wavelength/temperature axes configured both are exact identities, so
+single-``omega`` runs stay byte-identical to a pre-scenario build.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+import dataclasses
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -37,9 +47,56 @@ __all__ = [
     "RandomSampling",
     "AxialPlusRandomSampling",
     "AxialPlusWorstSampling",
+    "ScenarioFamilySampling",
+    "scenario_family",
     "make_sampling_strategy",
     "SAMPLING_STRATEGIES",
 ]
+
+
+def scenario_family(
+    fab_corners: Sequence[VariationCorner],
+    wavelengths_um: Sequence[float] | None = None,
+    temperatures_k: Sequence[float] | None = None,
+) -> list[VariationCorner]:
+    """Cross a fab-corner list with wavelength / temperature axes.
+
+    Each scenario pins one wavelength, one operating temperature and one
+    fabrication corner.  The temperature axis composes with the fab
+    corner's own thermal excursion as an *offset around the 300 K
+    nominal* (``temperature_k = corner.temperature_k + (T - 300)``), so
+    an ``axial`` temp-max corner evaluated at an operating point of
+    320 K lands at 320 + t_delta — the physically meaningful worst case.
+    Scenario weights inherit the fab corner's weight: operating
+    conditions are equally likely, fabrication corners keep their
+    distribution-mode weighting.
+
+    Either axis may be ``None``/empty, meaning "leave that axis alone";
+    with both absent the input list is returned unchanged (same
+    objects), which is what keeps single-wavelength runs bitwise
+    identical to the pre-scenario code path.
+    """
+    lams = list(wavelengths_um) if wavelengths_um else [None]
+    temps = list(temperatures_k) if temperatures_k else [None]
+    if lams == [None] and temps == [None]:
+        return list(fab_corners)
+    family: list[VariationCorner] = []
+    for lam in lams:
+        for temp in temps:
+            for c in fab_corners:
+                parts = []
+                kwargs: dict = {}
+                if lam is not None:
+                    parts.append(f"lam={float(lam):g}um")
+                    kwargs["wavelength_um"] = float(lam)
+                if temp is not None:
+                    parts.append(f"T={float(temp):g}K")
+                    kwargs["temperature_k"] = c.temperature_k + (
+                        float(temp) - 300.0
+                    )
+                name = c.name + "@" + ",".join(parts)
+                family.append(dataclasses.replace(c, name=name, **kwargs))
+    return family
 
 
 class WorstCornerFinder(Protocol):
@@ -78,6 +135,16 @@ class SamplingStrategy:
         """Corner count (the paper's cost metric; 2 EM solves per corner
         per direction)."""
         return len(self.corners(0, np.random.default_rng(0)))
+
+    @property
+    def wants_worst_finder(self) -> bool:
+        """True if :meth:`corners` uses the engine's worst-corner ascent.
+
+        The engine builds the (costly) gradient-ascent callback only
+        when the active strategy — possibly through a
+        :class:`ScenarioFamilySampling` wrapper — asks for it.
+        """
+        return False
 
     # ------------------------------------------------------------------ #
     # Checkpoint seam                                                    #
@@ -210,6 +277,56 @@ class AxialPlusWorstSampling(AxialSampling):
         if worst_finder is not None:
             out.append(worst_finder(self.t_step, self.xi_step))
         return out
+
+    @property
+    def wants_worst_finder(self) -> bool:
+        return True
+
+
+class ScenarioFamilySampling(SamplingStrategy):
+    """Lift a base strategy's fab corners into a scenario family.
+
+    Wraps any :class:`SamplingStrategy` and crosses its per-iteration
+    corner list with the configured wavelength and temperature axes via
+    :func:`scenario_family`.  State, the worst-finder request, and the
+    per-iteration randomness all pass straight through to the base
+    strategy, so checkpoints taken under a wrapped sampler restore the
+    base sampler's stream exactly.
+    """
+
+    def __init__(
+        self,
+        base: SamplingStrategy,
+        wavelengths_um: Sequence[float] | None = None,
+        temperatures_k: Sequence[float] | None = None,
+    ):
+        super().__init__(
+            t_delta=base.t_delta,
+            eta_delta=base.eta_delta,
+            nominal_weight=base.nominal_weight,
+        )
+        self.base = base
+        self.wavelengths_um = (
+            tuple(float(w) for w in wavelengths_um) if wavelengths_um else None
+        )
+        self.temperatures_k = (
+            tuple(float(t) for t in temperatures_k) if temperatures_k else None
+        )
+        self.name = f"scenario({base.name})"
+
+    def corners(self, iteration, rng, worst_finder=None):
+        fab = self.base.corners(iteration, rng, worst_finder)
+        return scenario_family(fab, self.wavelengths_um, self.temperatures_k)
+
+    @property
+    def wants_worst_finder(self) -> bool:
+        return self.base.wants_worst_finder
+
+    def state_dict(self) -> dict:
+        return self.base.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.base.load_state_dict(state)
 
 
 SAMPLING_STRATEGIES: dict[str, Callable[..., SamplingStrategy]] = {

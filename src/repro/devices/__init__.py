@@ -6,7 +6,10 @@ Three representative inverse-design tasks:
 * :class:`WaveguideCrossing` — cross two waveguides without crosstalk;
 * :class:`OpticalIsolator` — convert TM1 to TM3 in the forward direction
   with high efficiency while backward-injected light is rejected
-  (radiated), measured as the isolation contrast ``E_bwd / E_fwd``.
+  (radiated), measured as the isolation contrast ``E_bwd / E_fwd``;
+* :class:`WavelengthDemux` — route two wavelength channels to separate
+  drop ports (a wavelength-dependent objective, designed under
+  ``--wavelengths`` scenario families).
 
 Each device owns its simulation grid, background waveguide geometry,
 ports, calibration (input-power) runs, light-concentrated initialization
@@ -16,12 +19,14 @@ geometry, and the dense-objective definition of Eq. (2).
 from repro.devices.base import PhotonicDevice
 from repro.devices.bending import WaveguideBend
 from repro.devices.crossing import WaveguideCrossing
+from repro.devices.demux import WavelengthDemux
 from repro.devices.isolator import OpticalIsolator
 
 DEVICE_REGISTRY = {
     "bending": WaveguideBend,
     "crossing": WaveguideCrossing,
     "isolator": OpticalIsolator,
+    "demux": WavelengthDemux,
 }
 
 
@@ -41,6 +46,7 @@ __all__ = [
     "WaveguideBend",
     "WaveguideCrossing",
     "OpticalIsolator",
+    "WavelengthDemux",
     "DEVICE_REGISTRY",
     "make_device",
 ]

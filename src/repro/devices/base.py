@@ -261,6 +261,19 @@ class PhotonicDevice:
             self._wavelength_clones[key] = self._wavelength_clones.pop(key)
         return clone
 
+    def for_corner(self, corner) -> "PhotonicDevice":
+        """The device clone a variation corner should be simulated on.
+
+        A corner with no wavelength axis (``wavelength_um=None``) runs
+        on this device unchanged — the path every pre-scenario corner
+        takes — while scenario-family members route to their
+        :meth:`at_wavelength` clone (which is ``self`` again when the
+        pinned wavelength equals this device's centre wavelength).
+        """
+        if corner.wavelength_um is None:
+            return self
+        return self.at_wavelength(corner.wavelength_um)
+
     # ------------------------------------------------------------------ #
     # Geometry interface (subclasses)                                    #
     # ------------------------------------------------------------------ #

@@ -1,0 +1,178 @@
+"""Wavelength-demultiplexer benchmark (scenario-family exercise).
+
+Light enters a horizontal waveguide from the west; two output guides
+leave east, vertically offset.  Light near ``lambda1_um`` must exit
+through the upper drop port, light near ``lambda2_um`` through the lower
+one — a *wavelength-dependent* objective that only makes sense under a
+scenario family (``--wavelengths``): each per-omega device clone reports
+its own :meth:`objective_terms`, targeting the drop port owned by that
+clone's wavelength and penalizing crosstalk into the other.
+
+The device's centre wavelength is the band midpoint, where the two drop
+ports are equidistant; the tie resolves to the upper port, so a
+single-wavelength run degrades to an ordinary bend-like router.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.base import PhotonicDevice
+from repro.devices.geometry import centered_slice, horizontal_guide
+from repro.fdfd.adjoint import PortSpec
+from repro.fdfd.grid import SimGrid
+from repro.params.initializers import PathSegment
+
+__all__ = ["WavelengthDemux"]
+
+
+class WavelengthDemux(PhotonicDevice):
+    """1x2 wavelength demultiplexer in a 4 x 4 um window.
+
+    Parameters
+    ----------
+    dl:
+        Grid pitch (um).
+    guide_width_um:
+        Waveguide width.
+    design_size_um:
+        Side length of the square central design region.
+    lambda1_um / lambda2_um:
+        Channel wavelengths routed to the upper / lower drop port.
+    drop_offset_um:
+        Vertical offset of each drop guide from the domain centre (must
+        keep both guides inside the design window so they connect).
+    """
+
+    name = "demux"
+    directions = ("fwd",)
+    fom_lower_is_better = False
+
+    def __init__(
+        self,
+        dl: float = 0.05,
+        npml: int = 10,
+        domain_um: float = 4.0,
+        guide_width_um: float = 0.4,
+        design_size_um: float = 1.6,
+        lambda1_um: float = 1.50,
+        lambda2_um: float = 1.60,
+        drop_offset_um: float = 0.6,
+    ):
+        if lambda1_um == lambda2_um:
+            raise ValueError("demux channels must differ in wavelength")
+        n = int(round(domain_um / dl))
+        grid = SimGrid((n, n), dl=dl, npml=npml)
+        centre = domain_um / 2.0
+        span = centered_slice(centre, design_size_um, dl)
+        design_slice = (span, span)
+        super().__init__(grid, design_slice, 0.5 * (lambda1_um + lambda2_um))
+        self.domain_um = domain_um
+        self.guide_width_um = guide_width_um
+        self.centre_um = centre
+        self.design_lo_um = span.start * dl
+        self.design_hi_um = span.stop * dl
+        self.lambda1_um = float(lambda1_um)
+        self.lambda2_um = float(lambda2_um)
+        self.drop_offset_um = float(drop_offset_um)
+        if drop_offset_um >= design_size_um / 2.0:
+            raise ValueError(
+                "drop_offset_um must place both drop guides inside the "
+                f"design window (< {design_size_um / 2.0} um), got "
+                f"{drop_offset_um}"
+            )
+        # Narrower than the bend's 8x mode window: the two drop monitors
+        # must not overlap each other across the offset.
+        self._port_width = min(2.5 * guide_width_um, 2 * drop_offset_um * 0.8)
+
+    # ------------------------------------------------------------------ #
+    def _drop_centres(self) -> tuple[float, float]:
+        c, off = self.centre_um, self.drop_offset_um
+        return c + off, c - off
+
+    def target_port(self) -> str:
+        """The drop port this device's wavelength should exit through.
+
+        Per-omega scenario clones resolve this against their *own*
+        wavelength; ties (the band midpoint) go to the upper port.
+        """
+        d1 = abs(self.wavelength_um - self.lambda1_um)
+        d2 = abs(self.wavelength_um - self.lambda2_um)
+        return "drop1" if d1 <= d2 else "drop2"
+
+    # ------------------------------------------------------------------ #
+    def background_occupancy(self) -> np.ndarray:
+        g, w, c = self.grid, self.guide_width_um, self.centre_um
+        y1, y2 = self._drop_centres()
+        occ = horizontal_guide(g, c, w, x_hi_um=self.design_lo_um)
+        occ += horizontal_guide(g, y1, w, x_lo_um=self.design_hi_um)
+        occ += horizontal_guide(g, y2, w, x_lo_um=self.design_hi_um)
+        occ = np.clip(occ, 0, 1)
+        occ[self.design_slice] = 0.0
+        return occ
+
+    def monitor_ports(self, direction: str):
+        pw, d = self._port_width, self.domain_um
+        y1, y2 = self._drop_centres()
+        return [
+            PortSpec("drop1", "x", d - 0.7, y1, pw),
+            PortSpec("drop2", "x", d - 0.7, y2, pw),
+            PortSpec(
+                "refl", "x", 0.9, self.centre_um, 8 * self.guide_width_um,
+                subtract_incident=True,
+            ),
+        ]
+
+    def source_port(self, direction: str) -> PortSpec:
+        return PortSpec(
+            "src", "x", 0.7, self.centre_um, 8 * self.guide_width_um
+        )
+
+    def calibration_occupancy(self, direction: str) -> np.ndarray:
+        return horizontal_guide(self.grid, self.centre_um, self.guide_width_um)
+
+    def calibration_monitor(self, direction: str) -> PortSpec:
+        return PortSpec(
+            "calib", "x", self.domain_um - 0.7, self.centre_um,
+            8 * self.guide_width_um,
+        )
+
+    def init_segments(self) -> list[PathSegment]:
+        """A Y-split path from the west entry to both drop guides."""
+        size = self.design_hi_um - self.design_lo_um
+        mid = size / 2.0
+        off = self.drop_offset_um
+        w = self.guide_width_um
+        return [
+            PathSegment((0.0, mid), (mid, mid), w),
+            PathSegment((mid, mid), (size, mid + off), w),
+            PathSegment((mid, mid), (size, mid - off), w),
+        ]
+
+    # ------------------------------------------------------------------ #
+    def objective_terms(self) -> dict:
+        target = self.target_port()
+        other = "drop2" if target == "drop1" else "drop1"
+        return {
+            "main": {"direction": "fwd", "kind": "maximize", "port": target},
+            "penalties": [
+                {
+                    "direction": "fwd",
+                    "port": other,
+                    "bound": 0.02,
+                    "side": "upper",
+                    "weight": 1.0,
+                },
+                {
+                    "direction": "fwd",
+                    "port": "refl",
+                    "bound": 0.05,
+                    "side": "upper",
+                    "weight": 1.0,
+                },
+            ],
+        }
+
+    def fom(self, powers) -> float:
+        """Transmission into this wavelength's own drop port."""
+        return float(powers["fwd"][self.target_port()])

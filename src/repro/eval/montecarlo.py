@@ -15,6 +15,7 @@ from repro.core.executors import (
     run_warm_task,
     stable_worker_token,
 )
+from repro.core.sampling import scenario_family
 from repro.devices.base import PhotonicDevice
 from repro.fab.corners import VariationCorner
 from repro.fab.litho import LITHO_CORNER_NAMES
@@ -91,6 +92,39 @@ class RobustnessReport:
     def n_samples(self) -> int:
         return int(self.foms.size)
 
+    # ------------------------------------------------------------------ #
+    # Scenario stratification                                            #
+    # ------------------------------------------------------------------ #
+    def stratified_foms(self) -> "dict[float | None, np.ndarray]":
+        """Per-wavelength FoM arrays, in first-appearance order.
+
+        The key ``None`` is the device's own centre wavelength (every
+        sample of a plain, non-stratified evaluation).  Evaluations run
+        with a ``wavelengths_um`` axis yield one stratum per wavelength,
+        each holding the same underlying fabrication draws — a
+        variance-reduced comparison across operating points.
+        """
+        out: dict = {}
+        for fom, corner in zip(self.foms, self.corners):
+            out.setdefault(corner.wavelength_um, []).append(float(fom))
+        return {k: np.asarray(v) for k, v in out.items()}
+
+    def yield_fraction(self, threshold: float) -> float:
+        """Fraction of samples whose FoM meets ``threshold``."""
+        if self.fom_lower_is_better:
+            return float(np.mean(self.foms <= threshold))
+        return float(np.mean(self.foms >= threshold))
+
+    def stratified_yield(self, threshold: float) -> "dict[float | None, float]":
+        """Per-wavelength yield fractions (see :meth:`stratified_foms`)."""
+        out = {}
+        for lam, foms in self.stratified_foms().items():
+            if self.fom_lower_is_better:
+                out[lam] = float(np.mean(foms <= threshold))
+            else:
+                out[lam] = float(np.mean(foms >= threshold))
+        return out
+
 
 def sample_corner(
     rng: np.random.Generator,
@@ -121,6 +155,7 @@ def _evaluate_sample(
     Module-level (not a closure) so the process backend can pickle it;
     worker processes re-warm their own simulation caches.
     """
+    device = device.for_corner(corner)
     fabbed = process.apply_array(pattern, corner)
     alpha_bg = alpha_of_temperature(corner.temperature_k)
     powers = device.port_powers_array_all(fabbed, alpha_bg)
@@ -168,6 +203,7 @@ def evaluate_post_fab(
     block_chunk: int = DEFAULT_BLOCK_CHUNK,
     remote_timeout: float | None = None,
     remote_connect_retries: int | None = None,
+    wavelengths_um=None,
 ) -> RobustnessReport:
     """Expected post-fabrication performance of a design pattern.
 
@@ -221,6 +257,16 @@ def evaluate_post_fab(
         specs (exponential backoff between tries); ignored otherwise.
         ``None`` keeps the default
         (:data:`repro.core.remote.DEFAULT_CONNECT_RETRIES`).
+    wavelengths_um:
+        Optional wavelength axis for scenario-stratified evaluation:
+        every Monte-Carlo fabrication draw is re-evaluated at each
+        wavelength (same draws across strata — a paired comparison),
+        and the report exposes per-wavelength statistics via
+        :meth:`RobustnessReport.stratified_foms` /
+        :meth:`~RobustnessReport.stratified_yield`.  Scenarios are
+        grouped by omega on the blocked path so each wavelength's
+        samples share their Laplacian.  ``None`` (the default) keeps
+        the single-wavelength behaviour bit-for-bit.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
@@ -233,6 +279,10 @@ def evaluate_post_fab(
         sample_corner(rng, process.eole.n_terms, t_delta, index=i)
         for i in range(n_samples)
     ]
+    # Wavelength stratification crosses the *same* fabrication draws
+    # with each operating point; with no axis this is the identity.
+    corners = scenario_family(corners, wavelengths_um)
+    n_scenarios = len(corners)
 
     pool = make_executor(
         executor,
@@ -247,6 +297,17 @@ def evaluate_post_fab(
     try:
         results = None
         alphas = [alpha_of_temperature(c.temperature_k) for c in corners]
+        # Order-preserving omega groups: samples of one wavelength share
+        # their Laplacian and ride the same blocked solves.  A
+        # non-stratified evaluation is a single group on `device`.
+        omega_groups: dict = {}
+        for i, c in enumerate(corners):
+            lam = (
+                c.wavelength_um
+                if c.wavelength_um is not None
+                else device.wavelength_um
+            )
+            omega_groups.setdefault(round(float(lam), 12), []).append(i)
         if (
             workspace is not None
             and workspace.supports_corner_block
@@ -254,21 +315,30 @@ def evaluate_post_fab(
             # Gate before fabricating all samples (see PhotonicDevice
             # .can_batch_corners): an unbatchable device would waste
             # every apply_array below.
-            and device.can_batch_corners(alphas)
+            and all(
+                device.for_corner(corners[idxs[0]]).can_batch_corners(
+                    [alphas[i] for i in idxs]
+                )
+                for idxs in omega_groups.values()
+            )
         ):
             fabbed = [process.apply_array(pattern, c) for c in corners]
-            powers_list: list | None = []
-            for start in range(0, n_samples, block_chunk):
-                stop = start + block_chunk
-                chunk = device.port_powers_array_corners(
-                    fabbed[start:stop], alphas[start:stop]
-                )
-                if chunk is None:
-                    powers_list = None
+            blocked: list | None = [None] * n_scenarios
+            for idxs in omega_groups.values():
+                clone = device.for_corner(corners[idxs[0]])
+                for start in range(0, len(idxs), block_chunk):
+                    sel = idxs[start:start + block_chunk]
+                    chunk = clone.port_powers_array_corners(
+                        [fabbed[i] for i in sel], [alphas[i] for i in sel]
+                    )
+                    if chunk is None:
+                        blocked = None
+                        break
+                    for i, powers in zip(sel, chunk):
+                        blocked[i] = (clone.fom(powers), powers)
+                if blocked is None:
                     break
-                powers_list.extend(chunk)
-            if powers_list is not None:
-                results = [(device.fom(p), p) for p in powers_list]
+            results = blocked
         if results is None and not pool.supports_shared_memory:
             # Process/remote fan-out: same warm-pool seam as the
             # engine's taped corner fan-out — workers (forked or behind
@@ -310,7 +380,7 @@ def evaluate_post_fab(
         if not isinstance(executor, CornerExecutor):
             pool.shutdown()
 
-    foms = np.zeros(n_samples)
+    foms = np.zeros(n_scenarios)
     power_sums: dict[str, dict[str, float]] = {
         d: {} for d in device.directions
     }
@@ -320,7 +390,7 @@ def evaluate_post_fab(
             for name, value in dp.items():
                 power_sums[d][name] = power_sums[d].get(name, 0.0) + value
     mean_powers = {
-        d: {name: total / n_samples for name, total in dp.items()}
+        d: {name: total / n_scenarios for name, total in dp.items()}
         for d, dp in power_sums.items()
     }
     return RobustnessReport(

@@ -2,14 +2,19 @@
 
 A :class:`VariationCorner` pins every random fabrication/operation variable
 to one value: the lithography corner (defocus/dose), the operating
-temperature, a global etch-threshold shift, and optionally a full EOLE
-coefficient vector for the spatially varying etch field.
+temperature, a global etch-threshold shift, optionally a full EOLE
+coefficient vector for the spatially varying etch field, and — for
+*scenario families* — the operating wavelength.  ``wavelength_um=None``
+(the default) means "the device's own centre wavelength", which keeps
+plain fabrication corners wavelength-agnostic and single-``omega`` runs
+byte-identical to a pre-scenario build.
 
 :class:`CornerSet` provides the constructors the paper's sampling study
 (Fig. 6a) compares: nominal-only, single-sided axial, double-sided axial,
 exhaustive corner sweeping, and random sampling.  The *worst-case* corner
 is not a static object — it is found by gradient ascent at optimization
-time (see :mod:`repro.core.sampling`).
+time (see :mod:`repro.core.sampling`, which also builds the broadband ×
+thermal × fab cross-product families).
 """
 
 from __future__ import annotations
@@ -22,6 +27,23 @@ import numpy as np
 from repro.fab.litho import LITHO_CORNER_NAMES
 
 __all__ = ["VariationCorner", "CornerSet"]
+
+
+def _check_positive_finite(corner_name: str, field_name: str, value) -> None:
+    """Reject non-positive / non-finite scenario axes, naming the corner.
+
+    Shared by :class:`VariationCorner` construction and
+    :meth:`CornerSet.validate` so a bad temperature or wavelength is
+    refused where the corner is *built*, with a message naming it —
+    instead of surfacing as a cryptic failure deep inside
+    ``alpha_of_temperature`` (or an FDFD assembly) mid-iteration.
+    """
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"corner {corner_name!r}: {field_name} must be positive and "
+            f"finite, got {value!r}"
+        )
 
 
 @dataclass
@@ -43,6 +65,11 @@ class VariationCorner:
         for a spatially uniform threshold.
     weight:
         Relative weight in expectation-style aggregations.
+    wavelength_um:
+        Operating wavelength of this scenario, or ``None`` (the default)
+        for the device's own centre wavelength.  Set by the scenario
+        cross-product builders; plain fabrication corners leave it
+        unset so existing single-wavelength runs are untouched.
     """
 
     name: str
@@ -51,26 +78,40 @@ class VariationCorner:
     eta_shift: float = 0.0
     xi: np.ndarray | None = None
     weight: float = 1.0
+    wavelength_um: float | None = None
 
     def __post_init__(self):
         if self.litho not in LITHO_CORNER_NAMES:
             raise ValueError(
-                f"litho must be one of {LITHO_CORNER_NAMES}, got {self.litho!r}"
+                f"corner {self.name!r}: litho must be one of "
+                f"{LITHO_CORNER_NAMES}, got {self.litho!r}"
             )
-        if self.temperature_k <= 0:
-            raise ValueError("temperature must be positive")
+        _check_positive_finite(self.name, "temperature_k", self.temperature_k)
+        if self.wavelength_um is not None:
+            _check_positive_finite(
+                self.name, "wavelength_um", self.wavelength_um
+            )
         if self.weight < 0:
-            raise ValueError("weight must be non-negative")
+            raise ValueError(
+                f"corner {self.name!r}: weight must be non-negative, got "
+                f"{self.weight}"
+            )
         if self.xi is not None:
             self.xi = np.asarray(self.xi, dtype=np.float64)
 
     def is_nominal(self) -> bool:
-        """True if every axis sits at its nominal value."""
+        """True if every axis sits at its nominal value.
+
+        A corner pinned to an explicit wavelength is never nominal: the
+        nominal operating point is the device's own centre wavelength,
+        which only ``wavelength_um=None`` denotes.
+        """
         xi_zero = self.xi is None or not np.any(self.xi)
         return (
             self.litho == "nominal"
             and self.temperature_k == 300.0
             and self.eta_shift == 0.0
+            and self.wavelength_um is None
             and xi_zero
         )
 
@@ -80,6 +121,24 @@ class CornerSet:
     """An ordered collection of variation corners."""
 
     corners: list[VariationCorner] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Re-check every corner's physical axes, naming offenders.
+
+        :class:`VariationCorner` validates itself on construction, but a
+        ``CornerSet`` can be assembled from corners mutated afterwards
+        (samplers tweak temperatures in place when building scenario
+        families).  Calling this at set-construction time moves the
+        failure from deep inside ``alpha_of_temperature`` mid-iteration
+        to the point where the bad corner is actually created.
+        """
+        for c in self.corners:
+            _check_positive_finite(c.name, "temperature_k", c.temperature_k)
+            if c.wavelength_um is not None:
+                _check_positive_finite(c.name, "wavelength_um", c.wavelength_um)
 
     def __iter__(self) -> Iterator[VariationCorner]:
         return iter(self.corners)

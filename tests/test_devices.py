@@ -37,7 +37,9 @@ def path_pattern(device):
 
 class TestRegistry:
     def test_all_devices_present(self):
-        assert set(DEVICE_REGISTRY) == {"bending", "crossing", "isolator"}
+        assert set(DEVICE_REGISTRY) == {
+            "bending", "crossing", "isolator", "demux",
+        }
 
     def test_make_device(self):
         assert isinstance(make_device("bending"), WaveguideBend)

@@ -15,15 +15,20 @@ reused across hypothesis examples; ``derandomize=True`` keeps CI runs
 reproducible.
 """
 
+import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.autodiff import Tensor
 from repro.core.executors import (
     SerialExecutor,
     make_executor,
     resolve_worker_count,
 )
+from repro.core.objective import aggregate_losses
 from repro.core.remote import start_worker_subprocess
+from repro.core.sampling import scenario_family
+from repro.fab.corners import VariationCorner
 
 SETTINGS = dict(
     max_examples=12,
@@ -115,6 +120,97 @@ def test_resolve_worker_count_properties(requested, n_items, available):
     else:
         assert resolved == max(1, min(n_items, available))
         assert 1 <= resolved <= max(1, available)
+
+
+# --------------------------------------------------------------------- #
+# Scenario-family aggregation invariance (PR 8)                         #
+# --------------------------------------------------------------------- #
+#: Aggregation modes under test: (mode, alpha) pairs.
+AGG_MODES = st.sampled_from(
+    [("mean", None), ("worst", None), ("cvar", 0.25), ("cvar", 0.5),
+     ("cvar", 1.0)]
+)
+
+
+@st.composite
+def _families(draw):
+    """Random scenario families: fab corners crossed with optional
+    wavelength / temperature axes."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    corners = [
+        VariationCorner(
+            f"c{i}",
+            temperature_k=draw(st.floats(min_value=250.0, max_value=400.0)),
+            weight=draw(st.floats(min_value=0.1, max_value=3.0)),
+        )
+        for i in range(n)
+    ]
+    lams = draw(st.lists(
+        st.floats(min_value=1.2, max_value=1.9),
+        min_size=0, max_size=3, unique=True,
+    ))
+    temps = draw(st.lists(
+        st.floats(min_value=260.0, max_value=360.0),
+        min_size=0, max_size=2, unique=True,
+    ))
+    return scenario_family(corners, lams or None, temps or None)
+
+
+def _pseudo_loss(corner):
+    """Cheap deterministic stand-in for a per-scenario solve: a pure
+    function of the scenario's pinned condition, so it travels with the
+    corner under any permutation or chunking."""
+    lam = corner.wavelength_um if corner.wavelength_um is not None else 1.55
+    return 0.5 * lam + 0.01 * corner.temperature_k * corner.weight
+
+
+@pytest.mark.scenario
+@settings(**SETTINGS)
+@given(family=_families(), mode_alpha=AGG_MODES, seed=st.integers(0, 2**16))
+def test_aggregation_invariant_under_family_permutation(
+    family, mode_alpha, seed
+):
+    """mean/worst/CVaR see a *set* of scenarios: shuffling the family
+    (losses and weights together) never changes the reduction."""
+    mode, alpha = mode_alpha
+    losses = [Tensor(np.asarray(_pseudo_loss(c))) for c in family]
+    weights = [c.weight for c in family]
+    base = aggregate_losses(losses, weights, mode, alpha).item()
+    order = np.random.default_rng(seed).permutation(len(family))
+    shuffled = aggregate_losses(
+        [losses[i] for i in order],
+        [weights[i] for i in order],
+        mode,
+        alpha,
+    ).item()
+    assert shuffled == pytest.approx(base, rel=1e-9, abs=1e-12)
+
+
+@pytest.mark.scenario
+@settings(**SETTINGS)
+@given(family=_families(), chunk=st.integers(1, 5), mode_alpha=AGG_MODES)
+def test_aggregation_invariant_under_executor_chunking(
+    family, chunk, mode_alpha
+):
+    """Fanning the family out in arbitrary chunked map calls (the
+    Monte-Carlo block_chunk pattern) and aggregating the reassembled
+    list is bitwise the direct serial reduction."""
+    mode, alpha = mode_alpha
+    weights = [c.weight for c in family]
+    direct = aggregate_losses(
+        [Tensor(np.asarray(_pseudo_loss(c))) for c in family],
+        weights, mode, alpha,
+    ).item()
+    executor = SerialExecutor()
+    values = []
+    for start in range(0, len(family), chunk):
+        values.extend(
+            executor.map_ordered(_pseudo_loss, family[start : start + chunk])
+        )
+    chunked = aggregate_losses(
+        [Tensor(np.asarray(v)) for v in values], weights, mode, alpha
+    ).item()
+    assert chunked == direct
 
 
 @pytest.mark.remote
