@@ -11,6 +11,7 @@ optimizer config and the CLI down to
 """
 
 from repro.fdfd.linalg.base import (
+    DEFAULT_RECYCLE_DIM,
     SOLVER_REGISTRY,
     LinearSolver,
     SolveStats,
@@ -24,8 +25,13 @@ from repro.fdfd.linalg.blocked import (
     BlockedKrylovSolver,
     CornerBlockSolver,
 )
-from repro.fdfd.linalg.direct import BatchedDirectSolver, DirectSolver
+from repro.fdfd.linalg.direct import (
+    BatchedDirectSolver,
+    DirectSolver,
+    SinglePrecisionLU,
+)
 from repro.fdfd.linalg.krylov import KrylovDiagnostics, PreconditionedKrylovSolver
+from repro.fdfd.linalg.recycle import RecyclePool, RecycledSubspace
 
 __all__ = [
     "LinearSolver",
@@ -35,11 +41,15 @@ __all__ = [
     "register_solver",
     "available_backends",
     "make_linear_solver",
+    "DEFAULT_RECYCLE_DIM",
     "DirectSolver",
     "BatchedDirectSolver",
+    "SinglePrecisionLU",
     "PreconditionedKrylovSolver",
     "KrylovDiagnostics",
     "BlockedKrylovSolver",
     "CornerBlockSolver",
     "BlockDiagnostics",
+    "RecyclePool",
+    "RecycledSubspace",
 ]

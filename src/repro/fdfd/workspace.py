@@ -37,6 +37,14 @@ which preconditions a BiCGStab/GMRES solve for every other corner.
 :meth:`SimulationWorkspace.begin_solver_epoch` (called by the optimizer
 once per iteration) drops the anchors so the first permittivity of each
 iteration — the nominal corner — becomes the anchor its siblings recycle.
+Two opt-in refinements ride the same anchor plumbing:
+``SolverConfig.recycle_dim`` keeps a cross-iteration deflation basis per
+operator set (harvested solutions from the previous iteration's
+converged solves; *kept* across epochs — that is its point — but dropped
+by :meth:`clear`, by pickling, and whenever the block path's spread
+guard re-anchors away from the basis's neighbourhood), and
+``SolverConfig.precond_dtype == "float32"`` gives each anchor a lazy
+single-precision LU twin used only for preconditioner sweeps.
 
 Every cache is content-addressed, so a warm workspace returns the same
 bits as a cold build for the direct backends — tests assert bit-for-bit
@@ -59,6 +67,8 @@ from repro.fdfd.linalg import (
     SOLVER_REGISTRY,
     DirectSolver,
     LinearSolver,
+    RecyclePool,
+    SinglePrecisionLU,
     SolveStats,
     SolverConfig,
     make_linear_solver,
@@ -241,6 +251,40 @@ class _LRUCache:
             self.misses = 0
 
 
+class _PrecondAnchor:
+    """One preconditioner anchor: permittivity + float64 LU (+ f32 twin).
+
+    The float64 LU serves exact solves (anchor corners, cache seeds) and
+    float64 preconditioning — those paths are untouched by the
+    mixed-precision option and stay bitwise.  Under
+    ``precond_dtype=float32`` the anchor keeps its system matrix and
+    factorizes a complex64 twin *lazily*, the first time it actually
+    preconditions something, so exact-only anchors never pay the second
+    factorization; the matrix is released once the twin exists.
+    """
+
+    __slots__ = ("eps", "lu", "_matrix", "_lu32")
+
+    def __init__(self, eps: np.ndarray, lu, matrix=None):
+        self.eps = eps
+        self.lu = lu
+        self._matrix = matrix
+        self._lu32 = None
+
+    def preconditioner(self, factor_options: FactorOptions, stats: SolveStats):
+        if self._matrix is None:
+            return self.lu
+        if self._lu32 is None:
+            # Benign race under thread fan-out: two threads may both
+            # factorize the twin; last assignment wins, both are valid.
+            self._lu32 = SinglePrecisionLU.factorize(
+                self._matrix, factor_options
+            )
+            stats.add(factorizations=1)
+            self._matrix = None
+        return self._lu32
+
+
 class SimulationWorkspace:
     """Shared caches for repeated FDFD solves on the same window.
 
@@ -293,6 +337,10 @@ class SimulationWorkspace:
         # sweep, one omega per point — cannot pin factorizations without
         # limit.
         self._anchors: OrderedDict = OrderedDict()
+        # Cross-iteration deflation bases (SolverConfig.recycle_dim):
+        # keyed and LRU-bounded like _anchors, but *not* cleared by
+        # begin_solver_epoch — surviving epochs is their purpose.
+        self._recycle: OrderedDict = OrderedDict()
         self._anchor_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -346,7 +394,8 @@ class SimulationWorkspace:
                     registered = eps_hash in self._anchors.get(akey, ())
                 if not registered:
                     self._add_anchor(
-                        akey, eps_hash, eps.ravel().copy(), cached.lu
+                        akey, eps_hash, eps.ravel().copy(), cached.lu,
+                        matrix=cached.matrix,
                     )
             return cached
 
@@ -391,17 +440,19 @@ class SimulationWorkspace:
             if eps_hash in anchors:
                 # The solver cache evicted this permittivity but its LU
                 # survives as an anchor: exact solves, no iteration.
-                return DirectSolver(matrix, anchors[eps_hash][1], self.solver_stats)
+                return DirectSolver(
+                    matrix, anchors[eps_hash].lu, self.solver_stats
+                )
             if not anchors:
                 # First permittivity of the epoch — the nominal corner in
                 # the optimizer loop.  Factorize it; siblings recycle it.
                 lu = self.factor_options.splu(matrix)
                 self.solver_stats.add(factorizations=1)
-                anchors[eps_hash] = (eps_flat, lu)
+                anchors[eps_hash] = self._new_anchor(eps_flat, lu, matrix)
                 return DirectSolver(matrix, lu, self.solver_stats)
             nearest = min(
                 anchors.values(),
-                key=lambda pair: float(np.linalg.norm(pair[0] - eps_flat)),
+                key=lambda a: float(np.linalg.norm(a.eps - eps_flat)),
             )
         return make_linear_solver(
             backend,
@@ -409,18 +460,48 @@ class SimulationWorkspace:
             self.factor_options,
             config=self.solver_config,
             stats=self.solver_stats,
-            preconditioner=nearest[1],
-            on_fallback=lambda direct: self._add_anchor(
-                akey, eps_hash, eps_flat, direct.lu
+            preconditioner=nearest.preconditioner(
+                self.factor_options, self.solver_stats
             ),
+            on_fallback=lambda direct: self._add_anchor(
+                akey, eps_hash, eps_flat, direct.lu, matrix=direct.matrix
+            ),
+            recycle=self._recycle_pool(akey),
         )
 
-    def _add_anchor(self, akey, eps_hash, eps_flat, lu) -> None:
+    def _new_anchor(self, eps_flat, lu, matrix=None) -> _PrecondAnchor:
+        """An anchor entry, keeping the matrix only if a twin may be cut."""
+        if self.solver_config.precond_dtype != "float32":
+            matrix = None
+        return _PrecondAnchor(eps_flat, lu, matrix)
+
+    def _add_anchor(self, akey, eps_hash, eps_flat, lu, matrix=None) -> None:
         with self._anchor_lock:
             anchors = self._anchor_pool(akey)
-            anchors[eps_hash] = (eps_flat, lu)
+            anchors[eps_hash] = self._new_anchor(eps_flat, lu, matrix)
             while len(anchors) > self.solver_config.max_anchors:
                 anchors.popitem(last=False)
+
+    def _recycle_pool(self, akey) -> RecyclePool | None:
+        """The operator set's deflation pool (LRU-touched), or ``None``.
+
+        Pools deliberately survive :meth:`begin_solver_epoch` —
+        cross-iteration reuse is their purpose — but are dropped by
+        :meth:`clear`, by pickling, and when the block path's spread
+        guard re-anchors the operator set away from the pool's
+        neighbourhood (:meth:`_begin_corner_block`).
+        """
+        dim = self.solver_config.recycle_dim
+        if dim <= 0:
+            return None
+        with self._anchor_lock:
+            pool = self._recycle.get(akey)
+            if pool is None:
+                pool = self._recycle[akey] = RecyclePool(dim)
+            self._recycle.move_to_end(akey)
+            while len(self._recycle) > self._assemblies.maxsize:
+                self._recycle.popitem(last=False)
+        return pool
 
     @property
     def supports_corner_block(self) -> bool:
@@ -473,8 +554,8 @@ class SimulationWorkspace:
             if anchors:
                 nearest = min(
                     anchors.values(),
-                    key=lambda pair: float(
-                        np.linalg.norm(pair[0] - nominal_flat)
+                    key=lambda a: float(
+                        np.linalg.norm(a.eps - nominal_flat)
                     ),
                 )
                 if hashes[0] not in anchors and len(eps_arrs) > 1:
@@ -488,7 +569,7 @@ class SimulationWorkspace:
                     # family-grade (the worst-corner probe), anything
                     # farther is worth one nominal factorization.
                     nearest_dist = float(
-                        np.linalg.norm(nearest[0] - nominal_flat)
+                        np.linalg.norm(nearest.eps - nominal_flat)
                     )
                     spread = max(
                         float(np.linalg.norm(e.ravel() - nominal_flat))
@@ -498,6 +579,11 @@ class SimulationWorkspace:
                     # nonzero-distance anchor off-family by definition.
                     if nearest_dist > 2.0 * spread:
                         seed_nominal = True
+                        # The anchor neighbourhood changed: solutions
+                        # harvested around the old anchor no longer span
+                        # this family's subspace, so drop the recycled
+                        # basis along with the anchor choice.
+                        self._recycle.pop(akey, None)
             if seed_nominal:
                 # Seed from the factorization LRU when it already holds
                 # an LU for the nominal permittivity (repeated-theta
@@ -507,6 +593,7 @@ class SimulationWorkspace:
                 fkey = (*akey, hashes[0])
                 cached = self._factorizations.get(fkey)
                 lu = None if cached is None else cached.lu
+                matrix = None if cached is None else cached.matrix
                 if lu is None:
                     matrix = assembly.system_matrix(eps_arrs[0])
                     lu = self.factor_options.splu(matrix)
@@ -514,12 +601,14 @@ class SimulationWorkspace:
                     self._factorizations.put(
                         fkey, DirectSolver(matrix, lu, self.solver_stats)
                     )
-                anchors[hashes[0]] = (nominal_flat.copy(), lu)
+                anchors[hashes[0]] = self._new_anchor(
+                    nominal_flat.copy(), lu, matrix
+                )
                 while len(anchors) > self.solver_config.max_anchors:
                     anchors.popitem(last=False)
                 nearest = anchors[hashes[0]]
             exact = {
-                i: anchors[h][1] for i, h in enumerate(hashes) if h in anchors
+                i: anchors[h].lu for i, h in enumerate(hashes) if h in anchors
             }
         for i, h in enumerate(hashes):
             # Corners whose LU survives in the factorization LRU (e.g.
@@ -534,7 +623,8 @@ class SimulationWorkspace:
 
         def reanchor(system: int, direct) -> None:
             self._add_anchor(
-                akey, hashes[system], eps_arrs[system].ravel().copy(), direct.lu
+                akey, hashes[system], eps_arrs[system].ravel().copy(),
+                direct.lu, matrix=direct.matrix,
             )
             # Mirror the scalar path: the fallback solver joins the
             # factorization LRU so re-solving this permittivity (same
@@ -544,12 +634,15 @@ class SimulationWorkspace:
         return backend_cls.corner_block(
             assembly,
             eps_arrs,
-            preconditioner=nearest[1],
+            preconditioner=nearest.preconditioner(
+                self.factor_options, self.solver_stats
+            ),
             exact_lus=exact,
             factor_options=self.factor_options,
             config=self.solver_config,
             stats=self.solver_stats,
             on_fallback=reanchor,
+            recycle=self._recycle_pool(akey),
         )
 
     @property
@@ -599,6 +692,13 @@ class SimulationWorkspace:
         anchors are stale; clearing them makes the first factorization of
         the new iteration — the nominal corner — the anchor every other
         corner recycles.  A no-op for the direct backends.
+
+        Recycled deflation bases (``SolverConfig.recycle_dim``) are
+        deliberately *kept*: an anchor LU is only a good preconditioner
+        for the iteration that factorized it, but the harvested
+        correction directions — the anchor's systematic errors on the
+        corner family — still span the next epoch's error space, which
+        is exactly what cross-iteration recycling exploits.
         """
         with self._anchor_lock:
             self._anchors.clear()
@@ -672,9 +772,11 @@ class SimulationWorkspace:
         self.solver_stats.reset()
         with self._anchor_lock:
             self._anchors.clear()
+            self._recycle.clear()
 
     # Pickling support: ship an empty workspace (LU objects cannot be
-    # pickled; worker processes re-warm their own caches).
+    # pickled; worker processes re-warm their own caches, and recycled
+    # deflation bases are dropped so worker payloads stay lean).
     def __getstate__(self):
         return {
             "factor_options": self.factor_options,
