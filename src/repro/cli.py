@@ -203,6 +203,38 @@ prints calls / total / self / mean wall time per phase, widest first.
 logging: `repro --log-level debug <command>` configures logging once
 for every subcommand; worker subprocesses inherit the level through
 their spawn environment (REPRO_LOG_LEVEL).
+
+running a service
+-----------------
+daemon: `repro serve --listen HOST:PORT --jobs-dir DIR` accepts design
+jobs over the same framed protocol the workers speak.  submissions are
+queued on disk under DIR (one directory per job: spec, checkpoints,
+progress stream, result), run through the optimizer with checkpointing
+forced on, and fanned out across `--fleet hostA:7070,hostB:7070`
+workers when configured (jobs may pin their own --executor instead).
+submitting: `repro submit DEVICE --connect HOST:PORT [--iterations N
+--sampling S --seed K --solver B ...]` — the same trajectory-shaping
+flags as `repro design`; the config is validated before the job is
+queued, so a bad submission is refused immediately.  then:
+    repro status [JOB] --connect HOST:PORT   # one job, or all + gauges
+    repro watch JOB --connect HOST:PORT      # live iteration stream
+    repro cancel JOB --connect HOST:PORT     # queued: dropped in place;
+                                             # running: checkpoint+stop
+watch replays the job's full progress stream from iteration 0 (the
+records are the same JSONL shape --trace-dir writes), then tails it
+live with heartbeat keepalives while iterations compute.
+restart semantics: every job mutation lands via atomic rename, so a
+daemon killed -9 mid-job loses nothing — on restart it rescans DIR,
+re-queues interrupted work, and resumes each job from its newest
+checkpoint (LU-backed solvers continue bitwise).  SIGTERM drains
+gracefully: running jobs finish their iteration, checkpoint, and park
+as 'interrupted' for the next start; queued jobs stay queued.
+fleet health: status/list replies carry daemon gauges (queue depth,
+jobs running, RSS) plus per-worker gauges harvested from heartbeat
+frames (`remote.worker.HOST:PORT.*`).
+security: like `repro worker`, no auth/TLS yet — the daemon executes
+submitted configs, so bind it to trusted networks only (e.g. over an
+SSH tunnel or VPN).
 """
 
 
@@ -533,6 +565,151 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the design-job daemon",
+        description=(
+            "Run the design-job daemon: clients submit jobs with `repro "
+            "submit`, the daemon queues them on disk, runs each with "
+            "checkpointing forced on (a killed daemon restarts and "
+            "resumes), and streams progress to `repro watch`.  See "
+            "'running a service' in `repro --help`.  No auth/TLS yet: "
+            "bind to trusted networks only."
+        ),
+    )
+    p_serve.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "bind address (default %(default)s; port 0 picks a free "
+            "port, printed on startup)"
+        ),
+    )
+    p_serve.add_argument(
+        "--jobs-dir",
+        required=True,
+        metavar="DIR",
+        help=(
+            "persistent job-queue directory: one subdirectory per job "
+            "(spec, checkpoints, progress stream, result); rescanned on "
+            "startup so a restarted daemon resumes interrupted work"
+        ),
+    )
+    p_serve.add_argument(
+        "--fleet",
+        default=None,
+        metavar="ADDRS",
+        help=(
+            "remote worker fleet (host:port[,host:port...]) jobs fan "
+            "corners out across unless they pin their own --executor; "
+            "worker heartbeat gauges become the daemon's fleet-health "
+            "view (default: in-process serial execution)"
+        ),
+    )
+    p_serve.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="jobs run concurrently (default %(default)s)",
+    )
+
+    def _add_connect_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--connect",
+            required=True,
+            metavar="HOST:PORT",
+            help="address of a running `repro serve` daemon",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=60.0,
+            metavar="SECONDS",
+            help=(
+                "declare the daemon dead after this much silence "
+                "(busy daemons heartbeat; default %(default)s)"
+            ),
+        )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="queue a design job on a `repro serve` daemon",
+        description=(
+            "Queue a design job: the same trajectory-shaping flags as "
+            "`repro design`, validated by the daemon before anything is "
+            "queued.  Prints the job id for status/watch/cancel."
+        ),
+    )
+    p_submit.add_argument("device", choices=sorted(DEVICE_REGISTRY))
+    _add_connect_arg(p_submit)
+    p_submit.add_argument("--iterations", type=int, default=30)
+    p_submit.add_argument(
+        "--sampling",
+        choices=sorted(SAMPLING_STRATEGIES),
+        default="axial+worst",
+    )
+    p_submit.add_argument("--relax-epochs", type=int, default=None)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument(
+        "--wavelengths", default=None, metavar="UM[,UM...]",
+        help="scenario wavelength axis, as for `repro design`",
+    )
+    p_submit.add_argument(
+        "--temperatures", default=None, metavar="K[,K...]",
+        help="scenario temperature axis, as for `repro design`",
+    )
+    p_submit.add_argument(
+        "--aggregate", default="mean", metavar="MODE",
+        help="scenario-loss reduction (mean | worst | cvar:ALPHA)",
+    )
+    p_submit.add_argument(
+        "--solver", default="direct", metavar="BACKEND",
+        help="linear-solver backend, as for `repro design`",
+    )
+    p_submit.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help=(
+            "pin this job's corner fan-out backend (serial | thread[:n] "
+            "| process[:n] | remote:...); default: the daemon's --fleet, "
+            "or serial"
+        ),
+    )
+    p_submit.add_argument(
+        "--watch", action="store_true",
+        help="stay connected and stream the job like `repro watch`",
+    )
+
+    p_status = sub.add_parser(
+        "status",
+        help="job state + daemon/fleet gauges from a daemon",
+    )
+    p_status.add_argument(
+        "job", nargs="?", default=None,
+        help="job id (omit to list every job)",
+    )
+    _add_connect_arg(p_status)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="stream a job's iteration records until it settles",
+        description=(
+            "Stream a job's progress records (iteration, loss, fom) from "
+            "iteration 0 and tail live until the job settles.  Exits 0 "
+            "iff the job completed."
+        ),
+    )
+    p_watch.add_argument("job", help="job id from `repro submit`")
+    _add_connect_arg(p_watch)
+
+    p_cancel = sub.add_parser(
+        "cancel",
+        help="cancel a queued job or soft-stop a running one",
+    )
+    p_cancel.add_argument("job", help="job id from `repro submit`")
+    _add_connect_arg(p_cancel)
+
     p_trace = sub.add_parser(
         "trace",
         help="inspect trace files written by --trace-dir runs",
@@ -834,6 +1011,251 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+    import signal
+
+    from repro.core.remote import PROTOCOL_VERSION, parse_worker_addresses
+    from repro.core.serve import ServeDaemon
+
+    try:
+        addresses = parse_worker_addresses(args.listen)
+        if len(addresses) != 1:
+            raise ValueError(
+                f"--listen takes exactly one address, got {len(addresses)}"
+            )
+    except ValueError as exc:
+        print(
+            f"error: --listen expects HOST:PORT, got {args.listen!r} ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    fleet = None
+    if args.fleet is not None:
+        try:
+            fleet = parse_worker_addresses(args.fleet)
+        except ValueError as exc:
+            print(f"error: bad --fleet: {exc}", file=sys.stderr)
+            return 2
+    host, port = addresses[0]
+    try:
+        daemon = ServeDaemon(
+            args.jobs_dir, host, port, fleet=fleet, parallel=args.parallel
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot start daemon: {exc}", file=sys.stderr)
+        return 2
+
+    def _graceful(signum, _frame):
+        # Drain instead of dying: stop accepting, soft-stop running
+        # jobs so each finishes its iteration and checkpoints, park
+        # them as 'interrupted' for the next start, then exit 0.
+        print(
+            f"repro serve pid {os.getpid()}: received "
+            f"{signal.Signals(signum).name}, checkpointing running jobs "
+            "before exit",
+            file=sys.stderr,
+            flush=True,
+        )
+        daemon.request_graceful_shutdown()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _graceful)
+    # The parseable startup line doubles as the port announcement for
+    # --listen host:0 (tests and scripts scrape it).
+    print(
+        f"repro serve listening on {daemon.host}:{daemon.port} "
+        f"(protocol v{PROTOCOL_VERSION}, pid {os.getpid()}, "
+        f"jobs {args.jobs_dir})",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.shutdown()
+    print(
+        f"repro serve pid {os.getpid()}: drained, exiting cleanly",
+        flush=True,
+    )
+    return 0
+
+
+def _serve_client(args):
+    """Connect to the daemon named by ``--connect`` (or exit 2)."""
+    from repro.core.remote import parse_worker_addresses
+    from repro.core.serve import ServeClient, ServeError
+
+    try:
+        addresses = parse_worker_addresses(args.connect)
+        if len(addresses) != 1:
+            raise ValueError(
+                f"--connect takes exactly one address, got {len(addresses)}"
+            )
+    except ValueError as exc:
+        print(
+            f"error: --connect expects HOST:PORT, got "
+            f"{args.connect!r} ({exc})",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return ServeClient(addresses[0], timeout=args.timeout)
+    except (OSError, ServeError) as exc:
+        print(
+            f"error: cannot reach daemon at {args.connect}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _print_job_line(job: dict) -> None:
+    extra = ""
+    if job.get("cancelling"):
+        extra = "  (cancelling)"
+    elif job.get("error"):
+        first = str(job["error"]).strip().splitlines()[-1]
+        extra = f"  ({first})"
+    print(
+        f"{job['id']}  {job['status']:<11}  device {job['device']}"
+        f"  iterations {job['iterations_done']}{extra}"
+    )
+
+
+def _watch_stream(client, job_id: str) -> int:
+    """Stream one job to stdout; exit 0 iff it completed."""
+    from repro.core.serve import ServeError
+
+    def on_record(record):
+        loss = record.get("loss")
+        fom = record.get("fom")
+        print(
+            f"iter {record.get('iteration', '?'):>3}  "
+            f"loss {loss:+.4f}  fom {fom:.4f}"
+            if isinstance(loss, float) and isinstance(fom, float)
+            else f"iter {record.get('iteration', '?')}  {record}"
+        )
+
+    try:
+        final = client.watch(job_id, on_record=on_record)
+    except (OSError, ServeError) as exc:
+        print(f"error: watch failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"\n{final['id']} settled: {final['status']}")
+    if final.get("error"):
+        print(final["error"], file=sys.stderr)
+    return 0 if final["status"] == "completed" else 1
+
+
+def _cmd_submit(args) -> int:
+    from repro.core.serve import ServeError
+
+    try:
+        wavelengths_um = _parse_axis(args.wavelengths)
+        temperatures_k = _parse_axis(args.temperatures)
+    except ValueError as exc:
+        print(f"error: bad axis value: {exc}", file=sys.stderr)
+        return 2
+    config = {
+        "iterations": args.iterations,
+        "sampling": args.sampling,
+        "relax_epochs": (
+            args.relax_epochs
+            if args.relax_epochs is not None
+            else max(4, args.iterations // 3)
+        ),
+        "seed": args.seed,
+        "wavelengths_um": wavelengths_um,
+        "temperatures_k": temperatures_k,
+        "aggregate": args.aggregate,
+        "solver": args.solver,
+    }
+    if args.executor is not None:
+        config["corner_executor"] = args.executor
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    with client:
+        try:
+            job = client.submit(args.device, config)
+        except (OSError, ServeError) as exc:
+            print(f"error: submit refused: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"submitted {job['id']} ({job['device']}, "
+            f"{config['iterations']} iterations)"
+        )
+        if args.watch:
+            return _watch_stream(client, job["id"])
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.core.serve import ServeError
+
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    with client:
+        try:
+            if args.job is None:
+                reply = client.list_jobs()
+                jobs = reply["jobs"]
+            else:
+                reply = client.status(args.job)
+                jobs = [reply["job"]]
+        except (OSError, ServeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    for job in jobs:
+        _print_job_line(job)
+    if not jobs:
+        print("no jobs")
+    daemon = reply.get("daemon") or {}
+    print(
+        f"\ndaemon: queue depth {daemon.get('queue_depth')}, "
+        f"running {daemon.get('jobs_running')}, "
+        f"rss {daemon.get('rss_bytes', 0) / 1e6:.0f} MB"
+    )
+    fleet = reply.get("fleet") or {}
+    if fleet:
+        print("fleet gauges:")
+        for name in sorted(fleet):
+            print(f"  {name} = {fleet[name]}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    with client:
+        return _watch_stream(client, args.job)
+
+
+def _cmd_cancel(args) -> int:
+    from repro.core.serve import ServeError
+
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    with client:
+        try:
+            job = client.cancel(args.job)
+        except (OSError, ServeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if job.get("cancelling"):
+        print(
+            f"{job['id']}: stop requested; the running iteration will "
+            "finish and checkpoint before the job settles as cancelled"
+        )
+    else:
+        print(f"{job['id']}: {job['status']}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.export import (
         format_summary,
@@ -872,6 +1294,11 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "baseline": _cmd_baseline,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "cancel": _cmd_cancel,
         "trace": _cmd_trace,
         "info": _cmd_info,
     }

@@ -15,7 +15,10 @@
   graceful SIGINT/SIGTERM shutdown;
 * :mod:`repro.core.engine` — :class:`Boson1Optimizer`, the end-to-end
   inverse-design loop; every paper technique is a config flag so the
-  Table II ablations are configuration-only.
+  Table II ablations are configuration-only;
+* :mod:`repro.core.serve` — the ``repro serve`` job daemon: on-disk job
+  queue, checkpoint-forced execution, live ``watch`` streaming, and
+  SIGKILL-safe restart/resume over the frame protocol.
 """
 
 from repro.core.checkpoint import (
@@ -43,6 +46,13 @@ from repro.core.sampling import (
     make_sampling_strategy,
     SAMPLING_STRATEGIES,
 )
+from repro.core.serve import (  # noqa: E402 — needs engine imported first
+    Job,
+    JobStore,
+    ServeClient,
+    ServeDaemon,
+    ServeError,
+)
 
 __all__ = [
     "OptimizerConfig",
@@ -66,4 +76,9 @@ __all__ = [
     "SamplingStrategy",
     "make_sampling_strategy",
     "SAMPLING_STRATEGIES",
+    "Job",
+    "JobStore",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
 ]

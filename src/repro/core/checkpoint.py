@@ -407,12 +407,20 @@ class CheckpointManager:
 
     def _rotate(self) -> None:
         paths = list_checkpoints(self.directory)
-        for stale in paths[: max(0, len(paths) - self.keep)]:
+        cut = max(0, len(paths) - self.keep)
+        survivors = paths[cut:]
+        for stale in paths[:cut]:
             for victim in (stale, sidecar_path(stale)):
                 try:
                     victim.unlink()
                 except OSError:
                     pass
+        # Rotation orders by iteration number, so a save *behind* the
+        # newest file on disk (resume from an earlier checkpoint into a
+        # directory holding later ones) can rotate away the file that
+        # was just written; keep the hint pointing at a surviving path.
+        if self.last_path is not None and self.last_path not in survivors:
+            self.last_path = survivors[-1] if survivors else None
 
 
 class GracefulShutdown:
@@ -424,20 +432,39 @@ class GracefulShutdown:
     previous handlers and re-raises itself, so a wedged run can still be
     killed interactively.  Installation is skipped off the main thread
     (Python only allows signal handlers there) and when ``enabled`` is
-    false; :attr:`requested` then simply stays ``False``.
+    false.
+
+    ``external_stop`` is the cross-thread seam: loops running where
+    signal handlers cannot be installed (``repro serve`` job threads)
+    are stopped by setting that :class:`threading.Event` from any
+    thread — :attr:`requested` honours it exactly like a first signal.
+    The event is owned by the caller and never cleared here, so one
+    daemon-wide shutdown request reaches every running job.
     """
 
     _SIGNALS = (signal.SIGINT, signal.SIGTERM)
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        external_stop: "threading.Event | None" = None,
+    ):
         self._enabled = enabled
+        self._external = external_stop
         self._previous: dict[int, Any] = {}
-        self.requested = False
+        self._requested = False
         #: Signal number that triggered the stop (None if none did).
         self.signum: int | None = None
 
+    @property
+    def requested(self) -> bool:
+        """True once a signal arrived *or* the external stop event is set."""
+        return self._requested or (
+            self._external is not None and self._external.is_set()
+        )
+
     def __enter__(self) -> "GracefulShutdown":
-        self.requested = False
+        self._requested = False
         self.signum = None
         if (
             self._enabled
@@ -462,14 +489,14 @@ class GracefulShutdown:
         self._previous.clear()
 
     def _handle(self, signum, frame) -> None:
-        if self.requested:
+        if self._requested:
             # Second signal: put the old handlers back and re-deliver,
             # so the default behaviour (KeyboardInterrupt / termination)
             # still works on a run that is stuck mid-iteration.
             self._restore()
             signal.raise_signal(signum)
             return
-        self.requested = True
+        self._requested = True
         self.signum = signum
         log.warning(
             "received %s: finishing the current iteration, writing a "

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.remote import (
     DEFAULT_CONNECT_RETRIES,
     DEFAULT_REMOTE_TIMEOUT,
+    MIN_REMOTE_TIMEOUT,
     parse_worker_addresses,
 )
 from repro.fdfd.linalg import SolverConfig
@@ -276,6 +277,16 @@ class OptimizerConfig:
                 f"remote_timeout must be positive (seconds), got "
                 f"{self.remote_timeout}"
             )
+        if backend == "remote":
+            # Fail at config time with the same bound the executor
+            # enforces: a timeout no heartbeat can beat inside would
+            # misdeclare every busy worker dead.
+            if self.remote_timeout <= MIN_REMOTE_TIMEOUT:
+                raise ValueError(
+                    f"remote_timeout must exceed {MIN_REMOTE_TIMEOUT:g}s "
+                    "so a busy worker's liveness heartbeat fits inside "
+                    f"it, got {self.remote_timeout}"
+                )
         if self.remote_connect_retries < 1:
             raise ValueError(
                 "remote_connect_retries must be >= 1, got "

@@ -15,6 +15,7 @@ from __future__ import annotations
 import functools
 import logging
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -749,6 +750,7 @@ class Boson1Optimizer:
         iterations: int | None = None,
         callback: Callable[[IterationRecord], None] | None = None,
         resume: "DesignCheckpoint | str | Path | None" = None,
+        stop_event: "threading.Event | None" = None,
     ) -> OptimizationResult:
         """Optimize and return the trajectory + final design.
 
@@ -767,6 +769,14 @@ class Boson1Optimizer:
             epoch, and the recorded history are restored, and for
             LU-backed solver backends the continued trajectory is
             bitwise-identical to the uninterrupted one.
+        stop_event:
+            Cross-thread soft-stop seam: setting this
+            :class:`threading.Event` (from any thread) acts like a
+            first SIGINT — the loop finishes the current iteration,
+            checkpoints (when checkpointing is on), and returns with
+            ``result.interrupted`` True.  This is how ``repro serve``
+            stops jobs running on worker threads, where signal handlers
+            cannot be installed.
 
         With ``config.checkpoint_dir`` set, the loop writes crash-safe
         checkpoints every ``config.checkpoint_every`` iterations (plus a
@@ -802,7 +812,7 @@ class Boson1Optimizer:
         try:
             return self._run_loop(
                 start, n_iter, adam, theta, history, callback, manager,
-                session,
+                session, stop_event,
             )
         finally:
             if session is not None:
@@ -877,10 +887,12 @@ class Boson1Optimizer:
         self.executor = SerialExecutor()
 
     def _run_loop(self, start, n_iter, adam, theta, history, callback,
-                  manager, session=None):
+                  manager, session=None, stop_event=None):
         final_loss = history[-1].loss if history else float("nan")
         interrupted = False
-        with GracefulShutdown(enabled=manager is not None) as stop:
+        with GracefulShutdown(
+            enabled=manager is not None, external_stop=stop_event
+        ) as stop:
             it = start
             while it < n_iter:
                 # Snapshot the RNG before the iteration: if the remote

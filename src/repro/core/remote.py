@@ -26,9 +26,11 @@ a truncated or corrupted stream fails loudly instead of poisoning a
 trajectory.  On top of the framing:
 
 * **Handshake** — the client opens with ``hello`` (protocol version +
-  its heartbeat interval); the server answers ``welcome`` (version +
-  pid) or a descriptive ``error``.  Version skew is detected by both
-  sides and reported as an error, never a hang.
+  its heartbeat interval + its dead-worker timeout); the server answers
+  ``welcome`` (version + pid) or a descriptive ``error``.  Version skew
+  is detected by both sides and reported as an error, never a hang, and
+  the server clamps the heartbeat cadence strictly inside the client's
+  timeout window (refusing a window too small for any beat to fit).
 * **Seeding** — task state (the device-carrying closure) is shipped once
   per *key* per worker as a ``seed`` frame carrying its own BLAKE2b
   digest; the server verifies the digest before unpickling (a mismatch
@@ -92,6 +94,9 @@ __all__ = [
     "PROTOCOL_VERSION",
     "DEFAULT_REMOTE_TIMEOUT",
     "DEFAULT_CONNECT_RETRIES",
+    "MIN_REMOTE_TIMEOUT",
+    "client_heartbeat_interval",
+    "negotiate_heartbeat",
     "RemoteProtocolError",
     "RemoteTaskError",
     "RemoteWorkerDied",
@@ -111,6 +116,18 @@ PROTOCOL_VERSION = 1
 #: result, no ``busy`` heartbeat — the client tolerates before declaring
 #: a worker dead and resubmitting its work.  CLI ``--remote-timeout``.
 DEFAULT_REMOTE_TIMEOUT = 30.0
+
+#: Floor on the ``busy`` heartbeat cadence: beating faster than this
+#: would burn worker CPU on liveness traffic without improving
+#: detection latency meaningfully.
+_MIN_HEARTBEAT = 0.05
+
+#: Smallest usable dead-worker timeout.  The heartbeat cadence must fit
+#: *strictly inside* the timeout window (a beat at or past the deadline
+#: cannot prove liveness in time), and the cadence itself is floored at
+#: ``_MIN_HEARTBEAT`` — so any timeout at or below twice that floor
+#: leaves no room for a beat and is refused descriptively.
+MIN_REMOTE_TIMEOUT = 2 * _MIN_HEARTBEAT
 
 #: Connection attempts per worker address at checkout time.  A worker
 #: still binding its listen socket (fleet and driver launched together)
@@ -165,6 +182,46 @@ class RemoteFleetDead(RuntimeError):
         super().__init__(message)
         self.worker_failures = list(worker_failures)
         self.missing = list(missing)
+
+
+def client_heartbeat_interval(timeout: float) -> float:
+    """Busy-beat cadence a client requests for a given dead-peer timeout.
+
+    Four beats per timeout window, floored at ``_MIN_HEARTBEAT`` and
+    capped at half the timeout so the cadence always sits strictly
+    inside the window: a healthy-but-busy peer proves liveness with
+    room to spare even when the floor binds.
+    """
+    return min(max(_MIN_HEARTBEAT, timeout / 4.0), timeout / 2.0)
+
+
+def negotiate_heartbeat(
+    requested: float, client_timeout: "float | None" = None
+) -> float:
+    """Server-side clamp of a client's requested heartbeat cadence.
+
+    The cadence is floored at ``_MIN_HEARTBEAT``; when the client also
+    announced its dead-peer ``timeout`` (protocol v1 clients that
+    predate the field simply omit it), the cadence is additionally
+    clamped to half that timeout so a busy server always beats in time.
+    A timeout so small that even the floor cadence cannot fit inside it
+    raises :class:`RemoteProtocolError` — the handshake is refused
+    descriptively instead of accepting a config under which every long
+    task would be misdeclared dead.
+    """
+    heartbeat = max(_MIN_HEARTBEAT, float(requested))
+    if client_timeout is None:
+        return heartbeat
+    timeout = float(client_timeout)
+    if heartbeat >= timeout:
+        heartbeat = max(_MIN_HEARTBEAT, timeout / 2.0)
+    if heartbeat >= timeout:
+        raise RemoteProtocolError(
+            f"client timeout {timeout:g}s leaves no room for liveness "
+            f"heartbeats (cadence floor {_MIN_HEARTBEAT:g}s); raise the "
+            f"timeout above {MIN_REMOTE_TIMEOUT:g}s"
+        )
+    return heartbeat
 
 
 def _digest(payload: bytes) -> bytes:
@@ -491,7 +548,13 @@ class RemoteWorkerServer:
                     },
                 )
                 return
-            heartbeat = max(0.05, float(hello.get("heartbeat", 1.0)))
+            try:
+                heartbeat = negotiate_heartbeat(
+                    hello.get("heartbeat", 1.0), hello.get("timeout")
+                )
+            except RemoteProtocolError as exc:
+                send_frame(conn, {"kind": "error", "message": str(exc)})
+                return
             send_frame(
                 conn,
                 {
@@ -737,6 +800,10 @@ class _WorkerConnection:
                         "kind": "hello",
                         "version": PROTOCOL_VERSION,
                         "heartbeat": heartbeat,
+                        # Announcing the dead-worker timeout lets the
+                        # server clamp the heartbeat strictly inside it
+                        # (or refuse a window no beat can fit).
+                        "timeout": timeout,
                     },
                 )
                 welcome = self._recv()
@@ -975,9 +1042,15 @@ class RemoteCornerExecutor(CornerExecutor):
         self.timeout = (
             DEFAULT_REMOTE_TIMEOUT if timeout is None else float(timeout)
         )
-        if self.timeout <= 0:
+        if self.timeout <= MIN_REMOTE_TIMEOUT:
+            # A timeout at or below twice the heartbeat floor leaves no
+            # cadence that beats strictly inside the window: a healthy
+            # busy worker could never prove liveness in time and would
+            # be misdeclared dead on every long task.
             raise ValueError(
-                f"remote timeout must be positive, got {self.timeout}"
+                f"remote timeout must exceed {MIN_REMOTE_TIMEOUT:g}s so a "
+                f"busy worker's heartbeat can land inside it, got "
+                f"{self.timeout}"
             )
         self.max_workers = max_workers
         self.connect_retries = (
@@ -997,8 +1070,8 @@ class RemoteCornerExecutor(CornerExecutor):
 
     @property
     def heartbeat_interval(self) -> float:
-        """Server-side ``busy`` cadence: 4 beats per timeout window."""
-        return max(0.05, self.timeout / 4.0)
+        """Server-side ``busy`` cadence, strictly below the timeout."""
+        return client_heartbeat_interval(self.timeout)
 
     # ------------------------------------------------------------------ #
     def _checkout(self, address: "tuple[str, int]") -> _WorkerConnection:

@@ -6,7 +6,9 @@ Three views of the same flat span records produced by
 * **JSONL** (``trace.jsonl``) — one self-contained JSON object per
   iteration (spans + a metrics snapshot), appended as the run goes, so
   a crash loses at most the current iteration and downstream tools can
-  tail the file. This is the format ``repro serve`` will stream.
+  tail the file. This is the format ``repro serve`` streams to
+  ``watch`` clients (:func:`iteration_entry` builds the shared record
+  shape).
 * **Chrome trace-event JSON** (``trace_chrome.json``) — complete
   ``ph: "X"`` duration events viewable in ``chrome://tracing`` /
   Perfetto; worker pids become separate process rows, so the fleet's
@@ -30,6 +32,7 @@ from .trace import disable_tracing, enable_tracing
 
 __all__ = [
     "TRACE_FORMATS",
+    "iteration_entry",
     "chrome_trace_events",
     "write_chrome_trace",
     "summarize_records",
@@ -39,6 +42,26 @@ __all__ = [
 ]
 
 TRACE_FORMATS = ("jsonl", "chrome")
+
+
+def iteration_entry(kind: str = "iteration", index: "int | None" = None,
+                    extra: "dict | None" = None,
+                    spans: "list[dict] | None" = None,
+                    workspace=None) -> dict:
+    """One self-contained JSONL record (the serve stream-back shape).
+
+    :class:`TraceSession` writes exactly these to ``trace.jsonl``, and
+    ``repro serve`` streams them to ``watch`` clients — one shape, so
+    :func:`load_trace_records` and trace tooling read either source.
+    """
+    entry: dict = {"type": kind}
+    if index is not None:
+        entry["iteration"] = index
+    if extra:
+        entry.update(extra)
+    entry["spans"] = spans if spans is not None else []
+    entry["metrics"] = get_metrics().snapshot(workspace)
+    return entry
 
 
 def chrome_trace_events(records: "list[dict]") -> "list[dict]":
@@ -182,13 +205,7 @@ class TraceSession:
         records = self.tracer.drain()
         self._all_records.extend(records)
         if self._jsonl is not None:
-            entry = {"type": kind}
-            if index is not None:
-                entry["iteration"] = index
-            if extra:
-                entry.update(extra)
-            entry["spans"] = records
-            entry["metrics"] = get_metrics().snapshot(workspace)
+            entry = iteration_entry(kind, index, extra, records, workspace)
             self._jsonl.write(json.dumps(entry) + "\n")
             self._jsonl.flush()
         return records

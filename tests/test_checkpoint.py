@@ -32,6 +32,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -302,6 +303,31 @@ class TestRotationAndDiscovery:
         with pytest.raises(ValueError):
             CheckpointManager(tmp_path, keep=0)
 
+    def test_rotation_refreshes_last_path_hint(self, tmp_path):
+        """Rotation orders by iteration number, so saving *behind* the
+        newest file on disk can delete the file just written.  The
+        manager's ``last_path`` hint must survive pointing at a file
+        that still exists — previously it kept naming the deleted one.
+        """
+        manager = CheckpointManager(tmp_path, keep=1)
+        manager.save(_tiny_ckpt(next_iteration=5))
+        # Resume from an earlier checkpoint into the same directory:
+        # this save is older by iteration number and rotates away.
+        manager.save(_tiny_ckpt(next_iteration=3))
+        assert manager.last_path == manager.path_for(5)
+        assert manager.last_path.exists()
+        path, latest = manager.latest()
+        assert path == manager.path_for(5)
+        assert latest.next_iteration == 5
+
+    def test_rotation_clears_hint_when_nothing_survives(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        manager.save(_tiny_ckpt(next_iteration=2))
+        for path in list_checkpoints(tmp_path):
+            path.unlink()
+        manager._rotate()
+        assert manager.last_path is None
+
     def test_find_latest_skips_corrupt_files(self, tmp_path):
         manager = CheckpointManager(tmp_path, keep=10)
         for n in (1, 2, 3):
@@ -457,6 +483,57 @@ class TestCrashAndSignalResume:
         with GracefulShutdown(enabled=False) as stop:
             assert signal.getsignal(signal.SIGINT) == before
             assert not stop.requested
+
+    def test_external_stop_event_is_observed_without_handlers(self):
+        """The cross-thread seam: an external event flips ``requested``
+        even when signal handlers are not installed, and re-entering
+        the context never clears the caller-owned event."""
+        event = threading.Event()
+        before = signal.getsignal(signal.SIGINT)
+        with GracefulShutdown(enabled=False, external_stop=event) as stop:
+            assert signal.getsignal(signal.SIGINT) == before
+            assert not stop.requested
+            event.set()
+            assert stop.requested
+        with GracefulShutdown(enabled=False, external_stop=event) as stop:
+            assert event.is_set()
+            assert stop.requested
+
+    def test_external_stop_from_worker_thread_checkpoints_and_resumes(
+        self, bend, reference, tmp_path
+    ):
+        """Signal installation is skipped off the main thread — the
+        seam ``repro serve`` job threads rely on instead.  A stop event
+        set mid-run from outside must end the loop after the current
+        iteration with a checkpoint, and the resumed run must stay
+        bitwise."""
+        ref, _ = reference("direct")
+        stop = threading.Event()
+        outcome = {}
+
+        def stop_at_1(record):
+            if record.iteration == 1:
+                stop.set()
+
+        def run():
+            opt = _make_opt(bend, "direct", checkpoint_dir=str(tmp_path))
+            outcome["result"] = opt.run(
+                callback=stop_at_1, stop_event=stop
+            )
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join(timeout=120)
+        assert not worker.is_alive()
+        result = outcome["result"]
+        assert result.interrupted
+        assert result.iterations_run == 2  # iteration 1 finished cleanly
+        path, ckpt = resolve_resume("auto", tmp_path)
+        assert ckpt.next_iteration == 2
+        resumed = _make_opt(bend, "direct").run(resume=path)
+        assert not resumed.interrupted
+        assert np.array_equal(resumed.fom_trace(), ref.fom_trace())
+        assert np.array_equal(resumed.theta, ref.theta)
 
 
 # --------------------------------------------------------------------- #

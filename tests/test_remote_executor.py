@@ -38,12 +38,15 @@ from repro.core import Boson1Optimizer, OptimizerConfig
 from repro.core.executors import make_executor
 from repro.core.remote import (
     DEFAULT_REMOTE_TIMEOUT,
+    MIN_REMOTE_TIMEOUT,
     PROTOCOL_VERSION,
     FaultInjection,
     RemoteCornerExecutor,
     RemoteProtocolError,
     RemoteTaskError,
     RemoteWorkerServer,
+    client_heartbeat_interval,
+    negotiate_heartbeat,
     parse_worker_addresses,
     recv_frame,
     send_frame,
@@ -452,6 +455,128 @@ def _sleepy(seconds):
 
 def _returns_unpicklable(x):
     return lambda: x  # noqa: E731 - deliberately unpicklable result
+
+
+# --------------------------------------------------------------------- #
+# Heartbeat / timeout interplay                                         #
+# --------------------------------------------------------------------- #
+class TestHeartbeatNegotiation:
+    """The server may stretch a too-fast heartbeat but must never let
+    the negotiated cadence reach the client's dead-worker timeout — a
+    clamped-up heartbeat above the timeout meant every long solve was
+    declared a dead worker."""
+
+    def test_clamped_below_client_timeout(self):
+        # Requested cadence ≥ the client timeout: clamp to timeout/2.
+        assert negotiate_heartbeat(5.0, 0.3) == pytest.approx(0.15)
+        assert negotiate_heartbeat(1.0, 1.0) == pytest.approx(0.5)
+
+    def test_sane_requests_pass_through(self):
+        assert negotiate_heartbeat(0.2, 10.0) == pytest.approx(0.2)
+        assert negotiate_heartbeat(1.0, None) == pytest.approx(1.0)
+
+    def test_floor_still_applies(self):
+        # Clamping from below (the pre-existing behaviour) is kept.
+        assert negotiate_heartbeat(0.001, None) == pytest.approx(0.05)
+        assert negotiate_heartbeat(0.001, 1.0) == pytest.approx(0.05)
+
+    def test_impossible_timeout_refused_descriptively(self):
+        # Both sides of the boundary: just above the floor the clamp
+        # succeeds; at/below it no legal cadence exists and the request
+        # is refused rather than silently armed to misfire.
+        assert negotiate_heartbeat(1.0, 0.11) < 0.11
+        with pytest.raises(RemoteProtocolError, match="heartbeat"):
+            negotiate_heartbeat(1.0, 0.05)
+        with pytest.raises(RemoteProtocolError, match="raise the timeout"):
+            negotiate_heartbeat(0.05, 0.04)
+
+    def test_client_interval_stays_inside_timeout(self):
+        for timeout in (0.11, 0.2, 0.5, 1.0, 15.0, DEFAULT_REMOTE_TIMEOUT):
+            assert client_heartbeat_interval(timeout) < timeout
+        assert client_heartbeat_interval(15.0) == pytest.approx(3.75)
+
+    def test_executor_rejects_timeout_at_or_below_floor(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            RemoteCornerExecutor([("h", 1)], timeout=MIN_REMOTE_TIMEOUT)
+        # Just above the floor is legal, with a cadence inside it.
+        ex = RemoteCornerExecutor([("h", 1)], timeout=0.11)
+        assert ex.heartbeat_interval < ex.timeout
+        ex.shutdown()
+
+    def test_config_rejects_remote_timeout_at_floor(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            OptimizerConfig(
+                corner_executor="remote:127.0.0.1:7070",
+                remote_timeout=MIN_REMOTE_TIMEOUT,
+            )
+        # Non-remote executors keep accepting small values: the knob is
+        # inert there.
+        OptimizerConfig(corner_executor="serial", remote_timeout=0.05)
+
+    def test_server_clamps_heartbeat_under_announced_timeout(self):
+        """A hello announcing a huge heartbeat with a small timeout is
+        welcomed with the clamped cadence, not armed to misfire."""
+        server = RemoteWorkerServer()
+        server.serve_in_thread()
+        try:
+            sock = socket.create_connection(server.address, timeout=3.0)
+            sock.settimeout(3.0)
+            send_frame(
+                sock,
+                {
+                    "kind": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "heartbeat": 60.0,
+                    "timeout": 0.3,
+                },
+            )
+            assert recv_frame(sock)["kind"] == "welcome"
+            sock.close()
+        finally:
+            server.shutdown()
+
+    def test_server_refuses_impossible_timeout(self):
+        server = RemoteWorkerServer()
+        server.serve_in_thread()
+        try:
+            sock = socket.create_connection(server.address, timeout=3.0)
+            sock.settimeout(3.0)
+            send_frame(
+                sock,
+                {
+                    "kind": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "heartbeat": 1.0,
+                    "timeout": 0.04,
+                },
+            )
+            reply = recv_frame(sock)
+            assert reply["kind"] == "error"
+            assert "heartbeat" in reply["message"]
+            sock.close()
+        finally:
+            server.shutdown()
+
+    def test_legacy_hello_without_timeout_still_welcomed(self):
+        """Backward compatibility: a hello that does not announce its
+        timeout negotiates exactly as before."""
+        server = RemoteWorkerServer()
+        server.serve_in_thread()
+        try:
+            sock = socket.create_connection(server.address, timeout=3.0)
+            sock.settimeout(3.0)
+            send_frame(
+                sock,
+                {
+                    "kind": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "heartbeat": 0.5,
+                },
+            )
+            assert recv_frame(sock)["kind"] == "welcome"
+            sock.close()
+        finally:
+            server.shutdown()
 
 
 # --------------------------------------------------------------------- #
